@@ -1,0 +1,138 @@
+// Sections 1-2 motivation, quantified: a classical point-event engine
+// (arrival order, no retractions, no guarantees) against CEDR on the
+// same logical input at increasing disorder. CEDR's answer is invariant;
+// the baseline silently drifts.
+#include <algorithm>
+#include <cstdio>
+
+#include "baseline/point_engine.h"
+#include "common/format.h"
+#include "denotation/patterns.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+EventList EventsOf(const std::vector<Message>& stream) {
+  EventList out;
+  for (const Message& m : stream) {
+    if (m.kind == MessageKind::kInsert) out.push_back(m.event);
+  }
+  return out;
+}
+
+int Run() {
+  workload::MachineConfig config;
+  config.num_machines = 10;
+  config.num_sessions = 800;
+  config.max_session_length = 40;
+  config.restart_scope = 10;
+  config.session_interval = 5;
+  workload::MachineStreams streams = workload::GenerateMachineEvents(config);
+
+  // Ground truth.
+  EventList seq = denotation::Sequence(
+      {EventsOf(streams.installs), EventsOf(streams.shutdowns)}, 40,
+      [](const std::vector<const Event*>& t) {
+        if (t.size() < 2) return true;
+        return t[0]->payload.at(0) == t[1]->payload.at(0);
+      });
+  EventList oracle = denotation::Unless(
+      seq, EventsOf(streams.restarts), 10,
+      [](const std::vector<const Event*>& t, const Event& z) {
+        return t[0]->payload.at(0) == z.payload.at(0);
+      });
+
+  std::string text =
+      "EVENT Q\n"
+      "WHEN UNLESS(SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40),\n"
+      "            RESTART AS z, 10)\n"
+      "WHERE CorrelationKey(Machine_Id, EQUAL)";
+
+  std::printf(
+      "CEDR vs point-event baseline on the CIDR07_Example pattern\n"
+      "(%zu-alert ground truth).\n\n",
+      oracle.size());
+  TextTable table({"disorder", "orderliness", "baseline alerts",
+                   "baseline error", "CEDR(middle) alerts", "CEDR error"});
+
+  for (double fraction : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    DisorderConfig dconfig;
+    dconfig.disorder_fraction = fraction;
+    dconfig.max_delay = fraction == 0 ? 0 : 15;
+    dconfig.cti_period = 20;
+    auto prepare = [&](const std::vector<Message>& s, uint64_t seed) {
+      DisorderConfig c = dconfig;
+      c.seed = seed + static_cast<uint64_t>(fraction * 100);
+      return ApplyDisorder(s, c);
+    };
+    std::vector<Message> installs = prepare(streams.installs, 1);
+    std::vector<Message> shutdowns = prepare(streams.shutdowns, 2);
+    std::vector<Message> restarts = prepare(streams.restarts, 3);
+
+    // Baseline: merge by arrival, feed in arrival order.
+    struct Tagged {
+      int kind;
+      Message msg;
+    };
+    std::vector<Tagged> merged;
+    int kind = 0;
+    for (const auto* s : {&installs, &shutdowns, &restarts}) {
+      for (const Message& m : *s) merged.push_back(Tagged{kind, m});
+      ++kind;
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Tagged& a, const Tagged& b) {
+                       return a.msg.cs < b.msg.cs;
+                     });
+    baseline::PointPatternDetector detector(40, 10, "Machine_Id");
+    for (const Tagged& t : merged) detector.OnArrival(t.kind, t.msg);
+    detector.Finish();
+
+    // CEDR at middle consistency (non-blocking, like the baseline).
+    auto query = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                        ConsistencySpec::Middle())
+                     .ValueOrDie();
+    Executor executor;
+    executor.Register(query.get());
+    executor
+        .Run({{"INSTALL", installs},
+              {"SHUTDOWN", shutdowns},
+              {"RESTART", restarts}})
+        .ok();
+    size_t cedr_alerts = query->sink().Ideal().size();
+
+    double orderliness = (Orderliness(installs) + Orderliness(shutdowns) +
+                          Orderliness(restarts)) /
+                         3.0;
+    auto err = [&](size_t got) {
+      return FormatDouble(
+                 100.0 *
+                 std::abs(static_cast<double>(got) -
+                          static_cast<double>(oracle.size())) /
+                 static_cast<double>(oracle.size()),
+                 1) +
+             "%";
+    };
+    table.AddRow({FormatDouble(fraction, 1), FormatDouble(orderliness),
+                  std::to_string(detector.alerts().size()),
+                  err(detector.alerts().size()), std::to_string(cedr_alerts),
+                  err(cedr_alerts)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The baseline's single-policy, order-trusting detection drifts as\n"
+      "disorder grows (and its 'recent install' selection differs even\n"
+      "at zero disorder when sessions of one machine overlap); CEDR's\n"
+      "retraction-based middle consistency reproduces the oracle at\n"
+      "every disorder level while remaining non-blocking.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cedr
+
+int main() { return cedr::Run(); }

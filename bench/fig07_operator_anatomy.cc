@@ -1,0 +1,76 @@
+// Figure 7 (Section 5): anatomy of a CEDR operator - consistency
+// monitor, alignment buffer, operational module, guarantees in and out.
+//
+// This bench traces one Select operator over a small disordered stream
+// at each consistency level, showing what the alignment buffer absorbs,
+// when output is produced, and what guarantees flow downstream.
+#include <cstdio>
+
+#include "engine/sink.h"
+#include "ops/select.h"
+#include "testing/helpers.h"
+
+namespace cedr {
+namespace {
+
+std::vector<Message> TraceInput() {
+  // Sync times: 10, 30(!), 20 late, retraction of 10's event, CTI 40.
+  Event a = MakeEvent(1, 10, 100, testing::KV(1, 1));
+  Event b = MakeEvent(2, 30, 100, testing::KV(1, 2));
+  Event c = MakeEvent(3, 20, 100, testing::KV(1, 3));  // straggler
+  return {InsertOf(a, 10), InsertOf(b, 30), InsertOf(c, 31),
+          RetractOf(a, 50, 32), CtiOf(40, 40), CtiOf(kInfinity, 50)};
+}
+
+void Trace(const char* name, ConsistencySpec spec) {
+  SelectOp op([](const Row&) { return true; }, spec);
+  CollectingSink sink;
+  op.ConnectTo(&sink, 0);
+  std::printf("---- %s (%s) ----\n", name, spec.ToString().c_str());
+  for (const Message& m : TraceInput()) {
+    size_t before = sink.messages().size();
+    op.Push(0, m).ok();
+    size_t emitted = sink.messages().size() - before;
+    std::printf("  in : %-44s buffer=%zu emitted=%zu\n",
+                m.ToString().c_str(), op.monitor().BufferedCount(), emitted);
+    for (size_t i = before; i < sink.messages().size(); ++i) {
+      std::printf("    out: %s\n", sink.messages()[i].ToString().c_str());
+    }
+  }
+  OperatorStats stats = op.stats();
+  std::printf(
+      "  stats: blocking(total)=%lld, buffer(max)=%zu, merged=%llu, "
+      "out=%llu ins + %llu ret\n\n",
+      static_cast<long long>(stats.alignment.total_blocking_cs),
+      stats.alignment.max_size,
+      static_cast<unsigned long long>(stats.alignment.merged_retractions),
+      static_cast<unsigned long long>(stats.out_inserts),
+      static_cast<unsigned long long>(stats.out_retracts));
+}
+
+int Run() {
+  std::printf(
+      "Figure 7. Anatomy of a CEDR operator: one Select over the same\n"
+      "disordered stream at three consistency levels. Input contains a\n"
+      "straggler (sync 20 after sync 30) and a provider retraction.\n\n");
+  Trace("strong: align on guarantees, merge retractions in the buffer",
+        ConsistencySpec::Strong());
+  Trace("middle: pass through optimistically, repair downstream",
+        ConsistencySpec::Middle());
+  Trace("bounded blocking B=15: absorb disorder up to 15 ticks",
+        ConsistencySpec::Custom(15, kInfinity));
+  std::printf(
+      "Observations (the Figure 7 components at work):\n"
+      " * strong holds everything in the alignment buffer until a CTI\n"
+      "   covers it, releases in sync order, and the provider retraction\n"
+      "   is merged in place - downstream sees only final state;\n"
+      " * middle emits at arrival and forwards the retraction;\n"
+      " * bounded blocking releases events once the watermark passes\n"
+      "   them by B, absorbing the straggler without full blocking.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cedr
+
+int main() { return cedr::Run(); }

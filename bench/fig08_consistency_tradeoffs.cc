@@ -1,0 +1,179 @@
+// Figure 8 (Section 5): consistency tradeoffs, measured.
+//
+// The paper's table is qualitative: {strong, middle, weak} x {highly
+// ordered, very out-of-order} -> {blocking, state size, output size}.
+// This bench reproduces it quantitatively on the Section 3.1 machine
+// workload: orderliness is controlled by the sync-point (CTI) period and
+// the disorder injector; blocking, state, and output size are measured
+// by the engine. The paper's ordinal claims are then checked:
+//   * strong & middle have the same state; strong blocks, middle
+//     inflates output with retractions;
+//   * middle & weak are non-blocking; when input is very out of order,
+//     weak holds less state and emits less than middle (it forgets);
+//   * when input is ordered, strong costs only marginally more.
+#include <cstdio>
+
+#include "common/format.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+struct Measurement {
+  double mean_blocking = 0;
+  Time max_blocking = 0;
+  size_t state = 0;
+  size_t buffer = 0;
+  uint64_t output = 0;
+  uint64_t retracts = 0;
+  uint64_t lost = 0;
+  double orderliness = 1.0;
+};
+
+std::string QueryText() {
+  return "EVENT Fig8\n"
+         "WHEN UNLESS(SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 60),\n"
+         "            RESTART AS z, 12)\n"
+         "WHERE CorrelationKey(Machine_Id, EQUAL)";
+}
+
+Measurement Measure(ConsistencySpec spec, bool ordered, uint64_t seed) {
+  workload::MachineConfig config;
+  config.num_machines = 20;
+  config.num_sessions = 2000;
+  config.max_session_length = 60;
+  config.restart_scope = 12;
+  config.session_interval = 3;
+  config.seed = seed;
+  workload::MachineStreams streams = workload::GenerateMachineEvents(config);
+
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = ordered ? 0.0 : 0.6;
+  dconfig.max_delay = ordered ? 0 : 30;
+  dconfig.cti_period = ordered ? 5 : 40;  // sync-point frequency
+  dconfig.seed = seed * 7;
+  auto prepare = [&](const std::vector<Message>& s, uint64_t extra) {
+    DisorderConfig c = dconfig;
+    c.seed += extra;
+    return ApplyDisorder(s, c);
+  };
+  std::vector<Message> installs = prepare(streams.installs, 1);
+  std::vector<Message> shutdowns = prepare(streams.shutdowns, 2);
+  std::vector<Message> restarts = prepare(streams.restarts, 3);
+
+  auto query =
+      CompiledQuery::Compile(QueryText(), workload::MachineCatalog(), spec)
+          .ValueOrDie();
+  Executor executor;
+  executor.Register(query.get());
+  Status st = executor.Run({{"INSTALL", installs},
+                            {"SHUTDOWN", shutdowns},
+                            {"RESTART", restarts}});
+  if (!st.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+  }
+  QueryStats stats = query->Stats();
+  Measurement m;
+  m.mean_blocking = stats.MeanBlocking();
+  m.max_blocking = stats.max_blocking;
+  m.state = stats.max_state_size;
+  m.buffer = stats.max_buffer_size;
+  m.output = query->sink().OutputSize();
+  m.retracts = query->sink().retracts();
+  m.lost = stats.lost_corrections;
+  m.orderliness = (Orderliness(installs) + Orderliness(shutdowns) +
+                   Orderliness(restarts)) /
+                  3.0;
+  return m;
+}
+
+const char* Qual(double value, double low, double high) {
+  if (value <= low) return "Low";
+  if (value >= high) return "High";
+  return "Medium";
+}
+
+int Run() {
+  std::printf(
+      "Figure 8. Consistency tradeoffs - measured on the machine-event\n"
+      "workload (2000 sessions, UNLESS(SEQUENCE(INSTALL, SHUTDOWN), "
+      "RESTART)).\n\n");
+
+  struct Level {
+    const char* name;
+    ConsistencySpec spec;
+  };
+  const Level levels[] = {
+      {"Strong", ConsistencySpec::Strong()},
+      {"Middle", ConsistencySpec::Middle()},
+      {"Weak", ConsistencySpec::Weak(24)},
+  };
+
+  TextTable table({"Consistency", "Orderliness", "Blocking(mean)",
+                   "Blocking(max)", "State", "Buffer", "Output", "Retracts",
+                   "Lost"});
+  Measurement results[3][2];
+  for (int l = 0; l < 3; ++l) {
+    for (int o = 0; o < 2; ++o) {
+      bool ordered = o == 0;
+      Measurement m = Measure(levels[l].spec, ordered, 42);
+      results[l][o] = m;
+      table.AddRow({levels[l].name, ordered ? "High" : "Low",
+                    FormatDouble(m.mean_blocking),
+                    std::to_string(m.max_blocking), std::to_string(m.state),
+                    std::to_string(m.buffer), std::to_string(m.output),
+                    std::to_string(m.retracts), std::to_string(m.lost)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // The paper's qualitative table, derived from the measurements.
+  std::printf("Qualitative rendering (the paper's Figure 8 cells):\n\n");
+  TextTable qual({"Consistency", "Orderliness", "Blocking", "State Size",
+                  "Output Size"});
+  double block_hi = results[0][1].mean_blocking;  // strong, disordered
+  size_t state_hi = results[0][1].state + results[0][1].buffer;
+  double out_hi = static_cast<double>(results[1][1].output);
+  for (int l = 0; l < 3; ++l) {
+    for (int o = 0; o < 2; ++o) {
+      const Measurement& m = results[l][o];
+      qual.AddRow(
+          {levels[l].name, o == 0 ? "High" : "Low",
+           Qual(m.mean_blocking, block_hi * 0.15, block_hi * 0.6),
+           Qual(static_cast<double>(m.state + m.buffer), state_hi * 0.3,
+                state_hi * 0.75),
+           Qual(static_cast<double>(m.output), out_hi * 0.5, out_hi * 0.9)});
+    }
+  }
+  std::printf("%s\n", qual.ToString().c_str());
+
+  auto check = [](const char* claim, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", claim);
+  };
+  std::printf("Paper claims checked:\n");
+  check("strong blocks more than middle when input is out of order",
+        results[0][1].mean_blocking > results[1][1].mean_blocking);
+  check("middle emits more (repair) than strong when out of order",
+        results[1][1].output > results[0][1].output);
+  check("strong emits no retractions at any orderliness",
+        results[0][0].retracts == 0 && results[0][1].retracts == 0);
+  check("middle and weak are non-blocking (no alignment delay)",
+        results[1][1].mean_blocking == 0 && results[2][1].mean_blocking == 0);
+  check("weak holds no more state than middle when out of order",
+        results[2][1].state <= results[1][1].state);
+  check("weak emits no more than middle when out of order",
+        results[2][1].output <= results[1][1].output);
+  check("weak loses corrections when out of order; middle never does",
+        results[2][1].lost > 0 && results[1][1].lost == 0);
+  check("ordered input: strong's extra blocking cost is marginal",
+        results[0][0].mean_blocking <= 8);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cedr
+
+int main() { return cedr::Run(); }

@@ -1,0 +1,213 @@
+// Operator throughput microbenchmarks (google-benchmark): the
+// quantitative backing for Section 5's performance discussion - cost of
+// each operator per event, as a function of consistency level and
+// disorder.
+#include <benchmark/benchmark.h>
+
+#include "engine/sink.h"
+#include "ops/alter_lifetime.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/select.h"
+#include "pattern/negation.h"
+#include "pattern/sequence.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+SchemaPtr KvSchema() {
+  static const SchemaPtr kSchema = Schema::Make(
+      {{"key", ValueType::kInt64}, {"value", ValueType::kInt64}});
+  return kSchema;
+}
+
+std::vector<Message> MakeStream(int n, int keys, double disorder,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Message> ordered;
+  ordered.reserve(n);
+  Time t = 1;
+  for (int i = 0; i < n; ++i) {
+    t += rng.NextInt(0, 2);
+    Row payload(KvSchema(),
+                {Value(rng.NextInt(0, keys - 1)), Value(rng.NextInt(0, 99))});
+    ordered.push_back(
+        InsertOf(MakeEvent(static_cast<EventId>(i + 1), t, t + 10, payload)));
+  }
+  DisorderConfig config;
+  config.disorder_fraction = disorder;
+  config.max_delay = disorder > 0 ? 20 : 0;
+  config.cti_period = 16;
+  config.seed = seed;
+  return ApplyDisorder(ordered, config);
+}
+
+ConsistencySpec SpecFor(int level) {
+  switch (level) {
+    case 0:
+      return ConsistencySpec::Strong();
+    case 1:
+      return ConsistencySpec::Middle();
+    default:
+      return ConsistencySpec::Weak(30);
+  }
+}
+
+void BM_Select(benchmark::State& state) {
+  auto input = MakeStream(4096, 16, state.range(0) / 100.0, 7);
+  for (auto _ : state) {
+    SelectOp op([](const Row& r) { return r.at(1).AsInt64() > 50; },
+                SpecFor(static_cast<int>(state.range(1))));
+    CollectingSink sink;
+    op.ConnectTo(&sink, 0);
+    for (const Message& m : input) benchmark::DoNotOptimize(op.Push(0, m));
+    benchmark::DoNotOptimize(op.Drain());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_Select)
+    ->ArgsProduct({{0, 50}, {0, 1, 2}})
+    ->ArgNames({"disorder%", "level"});
+
+void BM_Window(benchmark::State& state) {
+  auto input = MakeStream(4096, 16, state.range(0) / 100.0, 11);
+  for (auto _ : state) {
+    auto op = MakeSlidingWindowOp(5, SpecFor(1));
+    CollectingSink sink;
+    op->ConnectTo(&sink, 0);
+    for (const Message& m : input) benchmark::DoNotOptimize(op->Push(0, m));
+    benchmark::DoNotOptimize(op->Drain());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_Window)->Arg(0)->Arg(50)->ArgName("disorder%");
+
+void BM_EquiJoin(benchmark::State& state) {
+  auto left = MakeStream(2048, 32, state.range(0) / 100.0, 13);
+  auto right = MakeStream(2048, 32, state.range(0) / 100.0, 17);
+  auto theta = [](const Row& l, const Row& r) { return l.at(0) == r.at(0); };
+  for (auto _ : state) {
+    JoinOp op(theta, nullptr, SpecFor(static_cast<int>(state.range(1))));
+    op.SetEquiKeys([](const Row& r) { return r.at(0); },
+                   [](const Row& r) { return r.at(0); });
+    CollectingSink sink;
+    op.ConnectTo(&sink, 0);
+    size_t li = 0, ri = 0;
+    while (li < left.size() || ri < right.size()) {
+      bool take_left =
+          ri >= right.size() ||
+          (li < left.size() && left[li].cs <= right[ri].cs);
+      if (take_left) {
+        benchmark::DoNotOptimize(op.Push(0, left[li++]));
+      } else {
+        benchmark::DoNotOptimize(op.Push(1, right[ri++]));
+      }
+    }
+    benchmark::DoNotOptimize(op.Drain());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(left.size() + right.size()));
+}
+BENCHMARK(BM_EquiJoin)
+    ->ArgsProduct({{0, 50}, {0, 1}})
+    ->ArgNames({"disorder%", "level"});
+
+void BM_GroupByCount(benchmark::State& state) {
+  auto input = MakeStream(2048, 8, state.range(0) / 100.0, 19);
+  SchemaPtr schema = Schema::Make(
+      {{"key", ValueType::kInt64}, {"count", ValueType::kInt64}});
+  std::vector<AggregateSpec> aggs = {
+      AggregateSpec{AggregateKind::kCount, "", "count"}};
+  for (auto _ : state) {
+    GroupByAggregateOp op({"key"}, aggs, schema,
+                          SpecFor(static_cast<int>(state.range(1))));
+    CollectingSink sink;
+    op.ConnectTo(&sink, 0);
+    for (const Message& m : input) benchmark::DoNotOptimize(op.Push(0, m));
+    benchmark::DoNotOptimize(op.Drain());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_GroupByCount)
+    ->ArgsProduct({{0, 50}, {0, 1}})
+    ->ArgNames({"disorder%", "level"});
+
+void BM_SequenceDetect(benchmark::State& state) {
+  workload::MachineConfig config;
+  config.num_machines = 32;
+  config.num_sessions = 1024;
+  config.max_session_length = 30;
+  config.session_interval = 3;
+  auto streams = workload::GenerateMachineEvents(config);
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = state.range(0) / 100.0;
+  dconfig.max_delay = state.range(0) > 0 ? 15 : 0;
+  dconfig.cti_period = 12;
+  auto installs = ApplyDisorder(streams.installs, dconfig);
+  dconfig.seed = 43;
+  auto shutdowns = ApplyDisorder(streams.shutdowns, dconfig);
+
+  auto pred = [](const std::vector<const Event*>& t,
+                 const std::vector<int>&) {
+    if (t.size() < 2) return true;
+    return t[0]->payload.at(0) == t[1]->payload.at(0);
+  };
+  for (auto _ : state) {
+    SequenceOp op(2, 30, pred, {}, nullptr,
+                  SpecFor(static_cast<int>(state.range(1))));
+    CollectingSink sink;
+    op.ConnectTo(&sink, 0);
+    size_t li = 0, ri = 0;
+    while (li < installs.size() || ri < shutdowns.size()) {
+      bool take_left = ri >= shutdowns.size() ||
+                       (li < installs.size() &&
+                        installs[li].cs <= shutdowns[ri].cs);
+      if (take_left) {
+        benchmark::DoNotOptimize(op.Push(0, installs[li++]));
+      } else {
+        benchmark::DoNotOptimize(op.Push(1, shutdowns[ri++]));
+      }
+    }
+    benchmark::DoNotOptimize(op.Drain());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(installs.size() + shutdowns.size()));
+}
+BENCHMARK(BM_SequenceDetect)
+    ->ArgsProduct({{0, 50}, {0, 1}})
+    ->ArgNames({"disorder%", "level"});
+
+void BM_UnlessDetect(benchmark::State& state) {
+  auto positives = MakeStream(2048, 8, 0.3, 23);
+  auto blockers = MakeStream(512, 8, 0.3, 29);
+  for (auto _ : state) {
+    UnlessOp op(10, nullptr, SpecFor(static_cast<int>(state.range(0))));
+    CollectingSink sink;
+    op.ConnectTo(&sink, 0);
+    size_t li = 0, ri = 0;
+    while (li < positives.size() || ri < blockers.size()) {
+      bool take_left = ri >= blockers.size() ||
+                       (li < positives.size() &&
+                        positives[li].cs <= blockers[ri].cs);
+      if (take_left) {
+        benchmark::DoNotOptimize(op.Push(0, positives[li++]));
+      } else {
+        benchmark::DoNotOptimize(op.Push(1, blockers[ri++]));
+      }
+    }
+    benchmark::DoNotOptimize(op.Drain());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(positives.size() + blockers.size()));
+}
+BENCHMARK(BM_UnlessDetect)->DenseRange(0, 2)->ArgName("level");
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,126 @@
+// Microbenchmarks of the temporal-model primitives: canonicalization,
+// logical equivalence, coalescing, alignment.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ops/alignment_buffer.h"
+#include "stream/canonical.h"
+#include "stream/coalesce.h"
+#include "stream/equivalence.h"
+#include "stream/sync.h"
+
+namespace cedr {
+namespace {
+
+HistoryTable RandomHistory(int groups, int retractions_per_group,
+                           uint64_t seed) {
+  Rng rng(seed);
+  HistoryTable table;
+  Time cs = 1;
+  for (int k = 0; k < groups; ++k) {
+    Time os = rng.NextInt(0, 1000);
+    Time oe = TimeAdd(os, rng.NextInt(10, 100));
+    for (int r = 0; r <= retractions_per_group; ++r) {
+      Event e = MakeBitemporalEvent(static_cast<EventId>(k), 1, kInfinity,
+                                    os, oe);
+      e.k = static_cast<uint64_t>(k);
+      e.cs = cs++;
+      table.Add(e);
+      oe = std::max(os, oe - rng.NextInt(1, 10));
+    }
+  }
+  return table;
+}
+
+void BM_Reduce(benchmark::State& state) {
+  HistoryTable table =
+      RandomHistory(static_cast<int>(state.range(0)), 3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Reduce(table));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.size()));
+}
+BENCHMARK(BM_Reduce)->Range(64, 4096);
+
+void BM_CanonicalTo(benchmark::State& state) {
+  HistoryTable table =
+      RandomHistory(static_cast<int>(state.range(0)), 3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalTo(table, 500));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.size()));
+}
+BENCHMARK(BM_CanonicalTo)->Range(64, 4096);
+
+void BM_LogicalEquivalence(benchmark::State& state) {
+  HistoryTable a = RandomHistory(static_cast<int>(state.range(0)), 3, 3);
+  HistoryTable b = a;  // identical content
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogicallyEquivalent(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size()));
+}
+BENCHMARK(BM_LogicalEquivalence)->Range(64, 2048);
+
+void BM_SyncPointDensity(benchmark::State& state) {
+  HistoryTable table =
+      RandomHistory(static_cast<int>(state.range(0)), 1, 4);
+  AnnotatedTable annotated = AnnotatedTable::FromHistory(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annotated.SyncPointDensity());
+  }
+}
+BENCHMARK(BM_SyncPointDensity)->Range(64, 1024);
+
+void BM_Coalesce(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Event> events;
+  SchemaPtr schema = Schema::Make({{"v", ValueType::kInt64}});
+  for (int i = 0; i < state.range(0); ++i) {
+    Time vs = rng.NextInt(0, 500);
+    events.push_back(MakeEvent(static_cast<EventId>(i + 1), vs,
+                               vs + rng.NextInt(1, 20),
+                               Row(schema, {Value(rng.NextInt(0, 10))})));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Star(events));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_Coalesce)->Range(64, 4096);
+
+void BM_AlignmentBuffer(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<Message> input;
+  Time t = 1;
+  for (int i = 0; i < 4096; ++i) {
+    t += rng.NextInt(0, 2);
+    Time delayed = t + (rng.NextBool(0.5) ? rng.NextInt(0, 20) : 0);
+    input.push_back(InsertOf(
+        MakeEvent(static_cast<EventId>(i + 1), t, t + 5), delayed));
+    if (i % 16 == 15) input.push_back(CtiOf(t - 25, delayed + 1));
+  }
+  std::sort(input.begin(), input.end(),
+            [](const Message& a, const Message& b) { return a.cs < b.cs; });
+  for (auto _ : state) {
+    AlignmentBuffer buffer(state.range(0) == 0 ? kInfinity
+                                               : state.range(0));
+    std::vector<Message> released;
+    for (const Message& m : input) {
+      buffer.Offer(m, m.cs, &released);
+      released.clear();
+    }
+    buffer.Drain(t + 100, &released);
+    benchmark::DoNotOptimize(released);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_AlignmentBuffer)->Arg(0)->Arg(10)->Arg(40)->ArgName("B");
+
+}  // namespace
+}  // namespace cedr

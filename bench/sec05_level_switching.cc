@@ -1,0 +1,91 @@
+// Section 5: "one can seamlessly switch from one consistency level to
+// another at [common sync points], producing the same subsequent stream
+// as if CEDR had been running at that consistency level all along."
+//
+// Demonstration: run the same query at strong and at middle over the
+// same disordered stream and show that at every provider sync point the
+// two output histories are logically equivalent (Definition 1) - the
+// precondition that makes switching seamless.
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "stream/equivalence.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+int Run() {
+  workload::MachineConfig config;
+  config.num_machines = 8;
+  config.num_sessions = 400;
+  config.max_session_length = 40;
+  config.restart_scope = 10;
+  config.session_interval = 5;
+  workload::MachineStreams streams = workload::GenerateMachineEvents(config);
+
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = 0.5;
+  dconfig.max_delay = 12;
+  dconfig.cti_period = 25;
+  auto prepare = [&](const std::vector<Message>& s, uint64_t seed) {
+    DisorderConfig c = dconfig;
+    c.seed = seed;
+    return ApplyDisorder(s, c);
+  };
+  std::vector<Message> installs = prepare(streams.installs, 1);
+  std::vector<Message> shutdowns = prepare(streams.shutdowns, 2);
+  std::vector<Message> restarts = prepare(streams.restarts, 3);
+
+  std::string text =
+      "EVENT Switcher\n"
+      "WHEN SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id}";
+
+  auto run = [&](ConsistencySpec spec) {
+    auto query =
+        CompiledQuery::Compile(text, workload::MachineCatalog(), spec)
+            .ValueOrDie();
+    Executor executor;
+    executor.Register(query.get());
+    executor
+        .Run({{"INSTALL", installs},
+              {"SHUTDOWN", shutdowns},
+              {"RESTART", restarts}})
+        .ok();
+    return HistoryTable::FromMessages(query->sink().messages());
+  };
+
+  HistoryTable strong = run(ConsistencySpec::Strong());
+  HistoryTable middle = run(ConsistencySpec::Middle());
+
+  std::printf(
+      "Section 5: level switching is seamless because at common sync\n"
+      "points all levels describe the same bitemporal state.\n\n");
+  std::printf("sync time | outputs equivalent to t (Definition 1)\n");
+  std::printf("----------+----------------------------------------\n");
+  int equivalent = 0, total = 0;
+  EquivalenceOptions options;
+  options.domain = TimeDomain::kValid;
+  options.compare_id = false;  // generated composite ids are run-local
+  for (Time t = 100; t <= 2000; t += 200) {
+    bool ok = LogicallyEquivalentTo(strong, middle, t, options);
+    std::printf("%9lld | %s\n", static_cast<long long>(t),
+                ok ? "yes" : "NO");
+    equivalent += ok ? 1 : 0;
+    ++total;
+  }
+  std::printf(
+      "\n%d/%d checkpoints equivalent: a query switched from middle to\n"
+      "strong (or back) at any of them continues exactly as if it had\n"
+      "always run at the target level.\n",
+      equivalent, total);
+  return equivalent == total ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cedr
+
+int main() { return cedr::Run(); }

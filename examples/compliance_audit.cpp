@@ -1,0 +1,90 @@
+// The paper's third motivating application: a compliance office monitor
+// that "must process all events in proper order to make an accurate
+// assessment" - strong consistency. It correlates each trader's busted
+// (fully retracted) trades with their trading volume, producing an
+// exact, retraction-free audit report at the end of the session.
+//
+//   build/examples/compliance_audit
+#include <cstdio>
+#include <map>
+
+#include "engine/sink.h"
+#include "ops/groupby.h"
+#include "workload/disorder.h"
+#include "workload/financial.h"
+
+using namespace cedr;
+
+int main() {
+  // A trading session: trades arrive, a few are busted later (full
+  // retractions); the feed is disordered but carries sync points.
+  workload::TradeConfig config;
+  config.num_traders = 6;
+  config.num_trades = 3000;
+  config.bust_fraction = 0.03;
+  std::vector<Message> trades = workload::GenerateTrades(config);
+
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = 0.4;
+  dconfig.max_delay = 30;
+  dconfig.cti_period = 20;
+  std::vector<Message> feed = ApplyDisorder(trades, dconfig);
+
+  // Strong consistency: the audit sees each trade exactly once, in
+  // order, with busted trades annihilated in the alignment buffer
+  // before they ever reach the books.
+  ConsistencySpec spec = ConsistencySpec::Strong();
+  SchemaPtr out_schema = Schema::Make({{"Trader", ValueType::kString},
+                                       {"positions", ValueType::kInt64},
+                                       {"net_qty", ValueType::kInt64}});
+  std::vector<AggregateSpec> aggs = {
+      AggregateSpec{AggregateKind::kCount, "", "positions"},
+      AggregateSpec{AggregateKind::kSum, "Qty", "net_qty"}};
+  GroupByAggregateOp books({"Trader"}, aggs, out_schema, spec);
+  CollectingSink sink;
+  books.ConnectTo(&sink, 0);
+
+  for (const Message& m : feed) {
+    if (!books.Push(0, m).ok()) return 1;
+  }
+  books.Push(0, CtiOf(kInfinity, feed.back().cs + 1)).ok();
+
+  std::printf("compliance audit (strong consistency)\n\n");
+  std::printf("input: %zu messages (%.0f%% delayed, sync points every 20s)\n",
+              feed.size(), 40.0);
+
+  OperatorStats stats = books.stats();
+  std::printf(
+      "busted trades absorbed before reaching the books: %llu\n"
+      "audit output retractions: %llu (strong never repairs)\n"
+      "alignment blocking: mean %.1f s over %llu messages\n\n",
+      static_cast<unsigned long long>(stats.alignment.annihilated_inserts +
+                                      stats.alignment.merged_retractions),
+      static_cast<unsigned long long>(sink.retracts()),
+      stats.alignment.released == 0
+          ? 0.0
+          : static_cast<double>(stats.alignment.total_blocking_cs) /
+                static_cast<double>(stats.alignment.released),
+      static_cast<unsigned long long>(stats.alignment.released));
+
+  // The end-of-session report: last snapshot per trader.
+  std::map<std::string, const Event*> latest;
+  EventList ideal = sink.Ideal();
+  for (const Event& e : ideal) {
+    std::string trader = e.payload.Get("Trader").ValueOrDie().AsString();
+    auto it = latest.find(trader);
+    if (it == latest.end() || e.vs > it->second->vs) latest[trader] = &e;
+  }
+  std::printf("%-10s %-12s %s\n", "trader", "open pos.", "net qty");
+  for (const auto& [trader, event] : latest) {
+    std::printf("%-10s %-12lld %lld\n", trader.c_str(),
+                static_cast<long long>(
+                    event->payload.Get("positions").ValueOrDie().AsInt64()),
+                static_cast<long long>(
+                    event->payload.Get("net_qty").ValueOrDie().AsInt64()));
+  }
+  std::printf(
+      "\nEvery number above is final: under strong consistency the\n"
+      "report needs no disclaimers about late or out-of-order data.\n");
+  return 0;
+}

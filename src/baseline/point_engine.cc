@@ -1,0 +1,103 @@
+#include "baseline/point_engine.h"
+
+#include <algorithm>
+
+namespace cedr {
+namespace baseline {
+
+PointPatternDetector::PointPatternDetector(Duration sequence_scope,
+                                           Duration negation_scope,
+                                           std::string key_attribute)
+    : sequence_scope_(sequence_scope),
+      negation_scope_(negation_scope),
+      key_attribute_(std::move(key_attribute)) {}
+
+void PointPatternDetector::OnArrival(int kind, const Message& msg) {
+  if (msg.kind != MessageKind::kInsert) return;  // cannot express these
+  const Event& e = msg.event;
+  auto key_value = e.payload.Get(key_attribute_);
+  if (!key_value.ok() ||
+      key_value.ValueOrDie().type() != ValueType::kInt64) {
+    return;
+  }
+  int64_t key = key_value.ValueOrDie().AsInt64();
+
+  // Point engines trust arrival order: the engine clock is the latest
+  // arrival's application timestamp.
+  clock_ = std::max(clock_, e.vs);
+  Resolve(clock_);
+
+  switch (kind) {
+    case 0: {  // A / install
+      auto& list = installs_[key];
+      list.push_back(e.vs);
+      // Expire installs beyond the sequence scope, assuming order.
+      while (!list.empty() &&
+             TimeAdd(list.front(), sequence_scope_) < clock_) {
+        list.erase(list.begin());
+      }
+      break;
+    }
+    case 1: {  // B / shutdown
+      auto it = installs_.find(key);
+      if (it == installs_.end() || it->second.empty()) break;
+      // Most recent install within scope (point-engine "recent" policy).
+      Time best = kMinTime;
+      for (Time install : it->second) {
+        if (install < e.vs && e.vs - install <= sequence_scope_) {
+          best = std::max(best, install);
+        }
+      }
+      if (best == kMinTime) break;
+      PendingAlert pa;
+      pa.alert = Alert{key, best, e.vs};
+      pa.due = TimeAdd(e.vs, negation_scope_);
+      pending_.push_back(pa);
+      break;
+    }
+    default: {  // C / restart: kills pending alerts of this key in scope
+      for (PendingAlert& pa : pending_) {
+        if (pa.killed) continue;
+        if (pa.alert.key == key && pa.alert.shutdown_vs < e.vs &&
+            e.vs < pa.due) {
+          pa.killed = true;
+        }
+      }
+      break;
+    }
+  }
+  size_t state = pending_.size();
+  for (const auto& [k, list] : installs_) state += list.size();
+  max_state_ = std::max(max_state_, state);
+}
+
+void PointPatternDetector::Resolve(Time now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->killed) {
+      it = pending_.erase(it);
+      continue;
+    }
+    if (it->due <= now) {
+      alerts_.push_back(it->alert);
+      it = pending_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+void PointPatternDetector::Finish() { Resolve(kInfinity); }
+
+void PointWindowCounter::OnArrival(const Message& msg) {
+  if (msg.kind != MessageKind::kInsert) return;
+  Time t = msg.event.vs;
+  times_.push_back(t);
+  // Trusting order: drop everything at or before t - window.
+  while (!times_.empty() && times_.front() <= TimeSub(t, window_)) {
+    times_.erase(times_.begin());
+  }
+  counts_.emplace_back(t, static_cast<int64_t>(times_.size()));
+}
+
+}  // namespace baseline
+}  // namespace cedr

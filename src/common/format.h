@@ -1,0 +1,51 @@
+// Text formatting helpers: StrCat-style concatenation and an aligned
+// table printer used by the benches to regenerate the paper's figures.
+#ifndef CEDR_COMMON_FORMAT_H_
+#define CEDR_COMMON_FORMAT_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cedr {
+
+namespace internal {
+inline void StrAppend(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrAppend(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  StrAppend(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppend(os, args...);
+  return os.str();
+}
+
+/// Renders a double with fixed precision.
+std::string FormatDouble(double v, int precision = 2);
+
+/// Accumulates rows of string cells and renders them as an aligned
+/// monospace table (the format the paper's figures use).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with a header rule; column widths fit the widest cell.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_COMMON_FORMAT_H_

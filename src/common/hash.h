@@ -1,0 +1,33 @@
+// Hashing utilities shared across the library.
+#ifndef CEDR_COMMON_HASH_H_
+#define CEDR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cedr {
+
+/// Combines a hash value into a seed (boost::hash_combine recipe with a
+/// 64-bit golden-ratio constant).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+template <typename T>
+void HashCombineValue(size_t* seed, const T& value) {
+  HashCombine(seed, std::hash<T>{}(value));
+}
+
+/// SplitMix64: the mixing function used to derive RNG streams and to hash
+/// integer ids deterministically across platforms.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace cedr
+
+#endif  // CEDR_COMMON_HASH_H_

@@ -1,0 +1,52 @@
+// Result<T>: a value or an error Status, modeled on arrow::Result.
+#ifndef CEDR_COMMON_RESULT_H_
+#define CEDR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cedr {
+
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok());
+  }
+  /// Constructs a success result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Same as ValueOrDie; name used by CEDR_ASSIGN_OR_RETURN.
+  T ValueUnsafe() && { return std::move(*value_); }
+
+  /// Returns the value, or `alternative` on error.
+  T ValueOr(T alternative) const& { return ok() ? *value_ : alternative; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_COMMON_RESULT_H_

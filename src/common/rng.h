@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// We implement xoshiro256** seeded via SplitMix64 and Lemire's bounded
+// reduction so that generated workloads are bit-identical across standard
+// libraries and platforms (std::uniform_int_distribution is not portable).
+#ifndef CEDR_COMMON_RNG_H_
+#define CEDR_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace cedr {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xCED42007ULL) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x = SplitMix64(x);
+      s = x;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Approximately normal via sum of uniforms (Irwin-Hall with 12 terms);
+  /// adequate for workload jitter and fully deterministic.
+  double NextGaussian(double mean, double stddev) {
+    double sum = 0;
+    for (int i = 0; i < 12; ++i) sum += NextDouble();
+    return mean + stddev * (sum - 6.0);
+  }
+
+  /// Geometric-ish waiting time: number of failures before a success with
+  /// probability p (p in (0, 1]); returns 0 when p >= 1.
+  int64_t NextGeometric(double p) {
+    if (p >= 1.0) return 0;
+    int64_t n = 0;
+    while (!NextBool(p) && n < (1 << 20)) ++n;
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_COMMON_RNG_H_

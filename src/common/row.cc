@@ -1,0 +1,38 @@
+#include "common/row.h"
+
+namespace cedr {
+
+Result<Value> Row::Get(const std::string& name) const {
+  if (schema_ == nullptr) {
+    return Status::InvalidArgument("row has no schema");
+  }
+  CEDR_ASSIGN_OR_RETURN(size_t idx, schema_->FieldIndex(name));
+  if (idx >= values_.size()) {
+    return Status::Internal("row shorter than its schema");
+  }
+  return values_[idx];
+}
+
+Row Row::Concat(const Row& right, SchemaPtr schema) const {
+  std::vector<Value> values = values_;
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Row(std::move(schema), std::move(values));
+}
+
+size_t Row::Hash() const {
+  size_t seed = 0xC0DE;
+  for (const Value& v : values_) HashCombine(&seed, v.Hash());
+  return seed;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cedr

@@ -1,0 +1,54 @@
+// Row: an event payload — a tuple of Values conforming to a Schema.
+#ifndef CEDR_COMMON_ROW_H_
+#define CEDR_COMMON_ROW_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/schema.h"
+
+namespace cedr {
+
+class Row {
+ public:
+  Row() = default;
+  Row(SchemaPtr schema, std::vector<Value> values)
+      : schema_(std::move(schema)), values_(std::move(values)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Field lookup by name via the schema.
+  Result<Value> Get(const std::string& name) const;
+
+  /// Payload equality: values only (the paper's coalesce compares
+  /// payloads for identity; schema identity is implied by the stream).
+  bool operator==(const Row& other) const { return values_ == other.values_; }
+  bool operator!=(const Row& other) const { return !(*this == other); }
+  bool operator<(const Row& other) const { return values_ < other.values_; }
+
+  /// Join output: this row's values followed by `right`'s, under `schema`.
+  Row Concat(const Row& right, SchemaPtr schema) const;
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace cedr
+
+namespace std {
+template <>
+struct hash<cedr::Row> {
+  size_t operator()(const cedr::Row& r) const { return r.Hash(); }
+};
+}  // namespace std
+
+#endif  // CEDR_COMMON_ROW_H_

@@ -1,0 +1,48 @@
+#include "common/schema.h"
+
+namespace cedr {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no field named '" + name + "' in schema " +
+                            ToString());
+  }
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+std::shared_ptr<const Schema> Schema::Concat(const Schema& left,
+                                             const Schema& right,
+                                             const std::string& right_prefix) {
+  std::vector<Field> fields = left.fields();
+  for (const Field& f : right.fields()) {
+    std::string name = f.name;
+    if (left.HasField(name)) name = right_prefix + name;
+    fields.push_back(Field{std::move(name), f.type});
+  }
+  return Make(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += ValueTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cedr

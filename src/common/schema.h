@@ -1,0 +1,60 @@
+// Relational schemas for event payloads.
+#ifndef CEDR_COMMON_SCHEMA_H_
+#define CEDR_COMMON_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace cedr {
+
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// Immutable payload schema: an ordered list of named, typed fields.
+/// Schemas are shared by shared_ptr between all rows of a stream.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  static std::shared_ptr<const Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// Schema of a join output: fields of `left` then fields of `right`,
+  /// right-side names prefixed with `right_prefix` when they collide.
+  static std::shared_ptr<const Schema> Concat(const Schema& left,
+                                              const Schema& right,
+                                              const std::string& right_prefix);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace cedr
+
+#endif  // CEDR_COMMON_SCHEMA_H_

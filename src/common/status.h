@@ -1,0 +1,117 @@
+// Status: error propagation without exceptions, modeled on the
+// Arrow/RocksDB Status idiom. A Status is either OK or carries an error
+// code plus a human-readable message.
+#ifndef CEDR_COMMON_STATUS_H_
+#define CEDR_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace cedr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kNotImplemented,
+  kParseError,
+  kBindError,
+  kPlanError,
+  kExecutionError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr means OK
+};
+
+}  // namespace cedr
+
+/// Propagates a non-OK Status to the caller.
+#define CEDR_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::cedr::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define CEDR_CONCAT_IMPL(a, b) a##b
+#define CEDR_CONCAT(a, b) CEDR_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs` (which may be a
+/// declaration, e.g. `auto v`).
+#define CEDR_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto CEDR_CONCAT(_res_, __LINE__) = (expr);                     \
+  if (!CEDR_CONCAT(_res_, __LINE__).ok())                         \
+    return CEDR_CONCAT(_res_, __LINE__).status();                 \
+  lhs = std::move(CEDR_CONCAT(_res_, __LINE__)).ValueUnsafe();
+
+#endif  // CEDR_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#include "common/time.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+Time TimeAdd(Time a, Duration b) {
+  if (a == kInfinity || b == kInfinity) return kInfinity;
+  if (b >= 0) {
+    if (a > kInfinity - b) return kInfinity;
+  } else {
+    if (a < kMinTime - b) return kMinTime;
+  }
+  return a + b;
+}
+
+Time TimeSub(Time a, Duration b) {
+  if (a == kInfinity) return kInfinity;
+  if (b >= 0) {
+    if (a < kMinTime + b) return kMinTime;
+  } else {
+    if (a > kInfinity + b) return kInfinity;
+  }
+  return a - b;
+}
+
+std::string TimeToString(Time t) {
+  if (t == kInfinity) return "inf";
+  if (t == kMinTime) return "-inf";
+  return std::to_string(t);
+}
+
+Duration Interval::length() const {
+  if (empty()) return 0;
+  if (end == kInfinity) return kInfinity;
+  return end - start;
+}
+
+bool Interval::Overlaps(const Interval& other) const {
+  return !Intersect(other).empty();
+}
+
+Interval Interval::Intersect(const Interval& other) const {
+  return Interval{std::max(start, other.start), std::min(end, other.end)};
+}
+
+std::string Interval::ToString() const {
+  return "[" + TimeToString(start) + ", " + TimeToString(end) + ")";
+}
+
+}  // namespace cedr

@@ -1,0 +1,58 @@
+// Temporal primitives for the CEDR tritemporal stream model.
+//
+// All three clocks of the paper (valid time, occurrence time, CEDR time)
+// are represented as int64_t ticks. +infinity is kInfinity; intervals are
+// half-open [start, end) as in the paper (Section 2).
+#ifndef CEDR_COMMON_TIME_H_
+#define CEDR_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace cedr {
+
+using Time = int64_t;
+using Duration = int64_t;
+
+/// The paper's ∞: an event valid "forever" has Ve == kInfinity.
+inline constexpr Time kInfinity = std::numeric_limits<Time>::max();
+/// The least representable time (used as -infinity for bounds).
+inline constexpr Time kMinTime = std::numeric_limits<Time>::min();
+
+/// a + b with saturation at kInfinity (so t + w never overflows; adding
+/// anything to infinity stays infinity).
+Time TimeAdd(Time a, Duration b);
+
+/// a - b with saturation; infinity minus a finite duration is infinity.
+Time TimeSub(Time a, Duration b);
+
+/// Renders a time, printing kInfinity as "inf".
+std::string TimeToString(Time t);
+
+/// Half-open interval [start, end). Empty iff start >= end.
+struct Interval {
+  Time start = 0;
+  Time end = 0;
+
+  bool empty() const { return start >= end; }
+  Duration length() const;
+
+  /// True iff t in [start, end).
+  bool Contains(Time t) const { return start <= t && t < end; }
+  /// True iff the intersection of the two intervals is non-empty.
+  bool Overlaps(const Interval& other) const;
+  /// Definition 10: two intervals [T1,T2), [T1',T2') meet iff T2 == T1'.
+  bool Meets(const Interval& other) const { return end == other.start; }
+
+  /// Intersection (possibly empty).
+  Interval Intersect(const Interval& other) const;
+
+  bool operator==(const Interval& other) const = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_COMMON_TIME_H_

@@ -1,0 +1,37 @@
+#include "consistency/guarantee.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+GuaranteeTracker::GuaranteeTracker(int num_ports)
+    : guarantees_(num_ports, kMinTime), watermarks_(num_ports, kMinTime) {}
+
+void GuaranteeTracker::OnCti(int port, Time t) {
+  guarantees_[port] = std::max(guarantees_[port], t);
+  watermarks_[port] = std::max(watermarks_[port], t);
+}
+
+void GuaranteeTracker::OnSync(int port, Time sync) {
+  watermarks_[port] = std::max(watermarks_[port], sync);
+}
+
+Time GuaranteeTracker::CombinedGuarantee() const {
+  Time g = kInfinity;
+  for (Time t : guarantees_) g = std::min(g, t);
+  return g;
+}
+
+Time GuaranteeTracker::CombinedWatermark() const {
+  Time w = kInfinity;
+  for (Time t : watermarks_) w = std::min(w, t);
+  return w;
+}
+
+Time GuaranteeTracker::MaxWatermark() const {
+  Time w = kMinTime;
+  for (Time t : watermarks_) w = std::max(w, t);
+  return w;
+}
+
+}  // namespace cedr

@@ -1,0 +1,48 @@
+// Occurrence-time guarantee tracking (Figure 7: "guarantees on input
+// time" in, "consistency guarantees" out).
+//
+// A guarantee g on a stream promises that every subsequent message has
+// sync time >= g (CTIs are the wire form). GuaranteeTracker combines the
+// per-port guarantees and watermarks of an n-ary operator.
+#ifndef CEDR_CONSISTENCY_GUARANTEE_H_
+#define CEDR_CONSISTENCY_GUARANTEE_H_
+
+#include <vector>
+
+#include "common/time.h"
+
+namespace cedr {
+
+class GuaranteeTracker {
+ public:
+  explicit GuaranteeTracker(int num_ports = 1);
+
+  int num_ports() const { return static_cast<int>(guarantees_.size()); }
+
+  /// Records a CTI on a port. Guarantees never regress.
+  void OnCti(int port, Time t);
+  /// Records an event sync time on a port (advances the watermark).
+  void OnSync(int port, Time sync);
+
+  /// The guarantee of one port.
+  Time guarantee(int port) const { return guarantees_[port]; }
+  /// The combined input guarantee: min over ports (no future message on
+  /// any port has sync below it).
+  Time CombinedGuarantee() const;
+
+  /// Highest sync time seen on a port / across all ports.
+  Time watermark(int port) const { return watermarks_[port]; }
+  /// Min over ports: the common progress (used for repair horizons).
+  Time CombinedWatermark() const;
+  /// Max over ports: the operator's notion of "now" (used for
+  /// optimistic emission deadlines).
+  Time MaxWatermark() const;
+
+ private:
+  std::vector<Time> guarantees_;
+  std::vector<Time> watermarks_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_CONSISTENCY_GUARANTEE_H_

@@ -1,0 +1,67 @@
+#include "consistency/monitor.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+ConsistencyMonitor::ConsistencyMonitor(ConsistencySpec spec, int num_ports)
+    : spec_(spec.Effective()), tracker_(num_ports) {
+  buffers_.reserve(num_ports);
+  for (int i = 0; i < num_ports; ++i) {
+    buffers_.push_back(std::make_unique<AlignmentBuffer>(spec_.max_blocking));
+  }
+}
+
+std::vector<Message> ConsistencyMonitor::Offer(int port, const Message& msg,
+                                               Time now_cs) {
+  std::vector<Message> released;
+  buffers_[port]->Offer(msg, now_cs, &released);
+  return released;
+}
+
+std::vector<Message> ConsistencyMonitor::Drain(int port, Time now_cs) {
+  std::vector<Message> released;
+  buffers_[port]->Drain(now_cs, &released);
+  return released;
+}
+
+void ConsistencyMonitor::NoteDispatch(int port, const Message& msg) {
+  if (msg.kind == MessageKind::kCti) {
+    tracker_.OnCti(port, msg.time);
+  } else {
+    tracker_.OnSync(port, msg.SyncTime());
+  }
+}
+
+Time ConsistencyMonitor::RepairHorizon() const {
+  Time horizon = tracker_.CombinedGuarantee();
+  if (spec_.max_memory != kInfinity) {
+    Time watermark = tracker_.CombinedWatermark();
+    if (watermark != kMinTime && watermark != kInfinity) {
+      horizon = std::max(horizon, TimeSub(watermark, spec_.max_memory));
+    }
+  }
+  return horizon;
+}
+
+size_t ConsistencyMonitor::BufferedCount() const {
+  size_t n = 0;
+  for (const auto& b : buffers_) n += b->size();
+  return n;
+}
+
+AlignmentStats ConsistencyMonitor::CombinedBufferStats() const {
+  AlignmentStats out;
+  for (const auto& b : buffers_) {
+    const AlignmentStats& s = b->stats();
+    out.merged_retractions += s.merged_retractions;
+    out.annihilated_inserts += s.annihilated_inserts;
+    out.max_size = std::max(out.max_size, s.max_size);
+    out.total_blocking_cs += s.total_blocking_cs;
+    out.max_blocking_cs = std::max(out.max_blocking_cs, s.max_blocking_cs);
+    out.released += s.released;
+  }
+  return out;
+}
+
+}  // namespace cedr

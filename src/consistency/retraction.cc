@@ -1,0 +1,107 @@
+#include "consistency/retraction.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace cedr {
+
+void RepairableOutput::Reconcile(const std::vector<Value>& group,
+                                 const std::vector<Event>& correct,
+                                 Time frontier,
+                                 const EmitInsertFn& emit_insert,
+                                 const EmitRetractFn& emit_retract) {
+  // The correct relation, clipped to [frontier, inf).
+  std::map<Row, IntervalSet> want;
+  for (const Event& e : correct) {
+    Interval iv = e.valid().Intersect(Interval{frontier, kInfinity});
+    if (!iv.empty()) want[e.payload].Add(iv);
+  }
+
+  std::vector<Event>& live = emitted_[group];
+  std::vector<Event> survivors;
+  survivors.reserve(live.size());
+
+  for (Event& emitted : live) {
+    // The repairable view of this event starts at the frontier: output
+    // before it is final by construction.
+    Time a = std::max(emitted.vs, frontier);
+    Time b = emitted.ve;
+    if (b <= frontier) {
+      // Entirely final; keep until Trim collects it.
+      survivors.push_back(emitted);
+      continue;
+    }
+    auto want_it = want.find(emitted.payload);
+    // Largest x such that [a, x) is within a single wanted interval
+    // covering a. If a is not covered at all, the event must end at a.
+    Time x = a;
+    if (want_it != want.end()) {
+      for (const Interval& iv : want_it->second.intervals()) {
+        if (iv.start <= a && a < iv.end) {
+          x = std::min(b, iv.end);
+          break;
+        }
+      }
+    }
+    if (x < b) {
+      emit_retract(emitted, x);
+      emitted.ve = x;
+    }
+    if (x > a && want_it != want.end()) {
+      // Mark the kept extent as satisfied.
+      want_it->second.Subtract(Interval{a, x});
+    }
+    if (!emitted.valid().empty()) survivors.push_back(emitted);
+  }
+
+  // Whatever remains wanted is uncovered: emit fresh inserts.
+  for (auto& [payload, set] : want) {
+    for (const Interval& iv : set.intervals()) {
+      if (iv.empty()) continue;
+      Event e;
+      size_t seed = payload.Hash();
+      for (const Value& v : group) HashCombine(&seed, v.Hash());
+      e.id = IdGen({static_cast<EventId>(seed),
+                    static_cast<EventId>(++fresh_counter_)});
+      e.k = e.id;
+      e.vs = iv.start;
+      e.ve = iv.end;
+      e.os = iv.start;
+      e.rt = iv.start;
+      e.payload = payload;
+      survivors.push_back(e);
+      emit_insert(e);
+    }
+  }
+
+  if (survivors.empty()) {
+    emitted_.erase(group);
+  } else {
+    live = std::move(survivors);
+  }
+}
+
+void RepairableOutput::Trim(Time horizon) {
+  for (auto it = emitted_.begin(); it != emitted_.end();) {
+    std::vector<Event>& live = it->second;
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [horizon](const Event& e) {
+                                return e.ve <= horizon;
+                              }),
+               live.end());
+    if (live.empty()) {
+      it = emitted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t RepairableOutput::StateSize() const {
+  size_t n = 0;
+  for (const auto& [group, live] : emitted_) n += live.size();
+  return n;
+}
+
+}  // namespace cedr

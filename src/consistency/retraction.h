@@ -1,0 +1,56 @@
+// RepairableOutput: retraction-based repair of optimistically emitted
+// output (the middle/weak consistency mechanism of Sections 4 and 5).
+//
+// An operator that computes per-group output fragments (aggregation,
+// difference) reconciles the currently-correct fragment set against what
+// it previously emitted:
+//   * a fragment that shrank is repaired with a retraction;
+//   * a fragment whose prefix is wrong cannot be repaired in place
+//     (retractions only reduce end times), so the old event is fully
+//     retracted and a corrected event is inserted with a fresh id -
+//     exactly the paper's "completely remove the old event ... then
+//     insert a new event" protocol from Section 4;
+//   * a missing fragment (or a grown suffix) is repaired with an insert.
+// Output strictly before `frontier` is final and never touched, which
+// keeps emitted CTIs truthful.
+#ifndef CEDR_CONSISTENCY_RETRACTION_H_
+#define CEDR_CONSISTENCY_RETRACTION_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "stream/coalesce.h"
+#include "stream/event.h"
+
+namespace cedr {
+
+class RepairableOutput {
+ public:
+  using EmitInsertFn = std::function<void(Event)>;
+  using EmitRetractFn = std::function<void(const Event&, Time)>;
+
+  /// Reconciles the correct output for `group` (fragments with payloads
+  /// and lifetimes; overlap with equal payload is unioned) against the
+  /// group's previously emitted live events, restricted to times >=
+  /// `frontier`. Emits the minimal insert/retract repair sequence.
+  void Reconcile(const std::vector<Value>& group,
+                 const std::vector<Event>& correct, Time frontier,
+                 const EmitInsertFn& emit_insert,
+                 const EmitRetractFn& emit_retract);
+
+  /// Forgets bookkeeping for emitted events that ended at or before
+  /// `horizon` (they can no longer be repaired).
+  void Trim(Time horizon);
+
+  /// Number of emitted events still tracked.
+  size_t StateSize() const;
+
+ private:
+  std::map<std::vector<Value>, std::vector<Event>> emitted_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_CONSISTENCY_RETRACTION_H_

@@ -1,0 +1,15 @@
+#include "consistency/spec.h"
+
+#include "common/format.h"
+
+namespace cedr {
+
+std::string ConsistencySpec::ToString() const {
+  if (IsStrong()) return "strong";
+  if (IsMiddle()) return "middle";
+  if (max_blocking == 0 && max_memory == 0) return "weak";
+  return StrCat("custom(B=", TimeToString(max_blocking),
+                ", M=", TimeToString(max_memory), ")");
+}
+
+}  // namespace cedr

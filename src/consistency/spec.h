@@ -1,0 +1,62 @@
+// Consistency levels (Sections 4 and 5).
+//
+// The paper's three named levels are points in a two-dimensional spectrum
+// (Figure 9): maximum memory time M (how far back an operator will
+// remember enough to repair optimistic output with retractions) and
+// maximum blocking time B (how long an operator will hold events in its
+// alignment buffer waiting for stragglers), both in application time.
+//
+//   strong = (M = inf, B = inf)   block until guaranteed, never retract;
+//   middle = (M = inf, B = 0)     emit optimistically, repair everything;
+//   weak   = (M finite, B = 0)    emit optimistically, repair only what
+//                                 is still remembered.
+//
+// Increasing B beyond M has no effect (the interesting region is the
+// lower-right triangle B <= M): blocking an event for longer than the
+// operator remembers is impossible, so the effective spec clamps B to M.
+#ifndef CEDR_CONSISTENCY_SPEC_H_
+#define CEDR_CONSISTENCY_SPEC_H_
+
+#include <string>
+
+#include "common/time.h"
+
+namespace cedr {
+
+struct ConsistencySpec {
+  /// Maximum blocking time B (application time). kInfinity blocks until
+  /// a guarantee covers the buffered messages.
+  Duration max_blocking = kInfinity;
+  /// Maximum memory time M (application time). kInfinity remembers
+  /// everything needed for complete repair.
+  Duration max_memory = kInfinity;
+
+  static ConsistencySpec Strong() { return {kInfinity, kInfinity}; }
+  static ConsistencySpec Middle() { return {0, kInfinity}; }
+  static ConsistencySpec Weak(Duration memory = 0) { return {0, memory}; }
+  static ConsistencySpec Custom(Duration blocking, Duration memory) {
+    return {blocking, memory};
+  }
+
+  /// The behavioral spec: B clamped to min(B, M) (Figure 9).
+  ConsistencySpec Effective() const {
+    return {max_blocking > max_memory ? max_memory : max_blocking,
+            max_memory};
+  }
+
+  bool IsStrong() const {
+    return max_blocking == kInfinity && max_memory == kInfinity;
+  }
+  bool IsMiddle() const {
+    return max_blocking == 0 && max_memory == kInfinity;
+  }
+  bool IsWeak() const { return max_memory != kInfinity; }
+
+  bool operator==(const ConsistencySpec& other) const = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_CONSISTENCY_SPEC_H_

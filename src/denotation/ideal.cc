@@ -1,0 +1,50 @@
+#include "denotation/ideal.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+#include "stream/canonical.h"
+#include "stream/coalesce.h"
+
+namespace cedr {
+namespace denotation {
+
+void SortByTime(EventList* events) {
+  std::sort(events->begin(), events->end(),
+            [](const Event& a, const Event& b) {
+              if (a.vs != b.vs) return a.vs < b.vs;
+              if (a.ve != b.ve) return a.ve < b.ve;
+              return a.id < b.id;
+            });
+}
+
+EventList IdealOf(const std::vector<Message>& stream) {
+  HistoryTable history = HistoryTable::FromMessages(stream, TimeDomain::kValid);
+  HistoryTable ideal = IdealTable(history, TimeDomain::kValid);
+  return ideal.rows();
+}
+
+EventList DropEmpty(const EventList& events) {
+  EventList out;
+  out.reserve(events.size());
+  for (const Event& e : events) {
+    if (!e.valid().empty()) out.push_back(e);
+  }
+  return out;
+}
+
+bool StarEqual(const EventList& a, const EventList& b) {
+  return ToRelation(a) == ToRelation(b);
+}
+
+std::string ToTableString(const EventList& events) {
+  TextTable t({"ID", "Vs", "Ve", "Payload"});
+  for (const Event& e : events) {
+    t.AddRow({StrCat("e", e.id), TimeToString(e.vs), TimeToString(e.ve),
+              e.payload.ToString()});
+  }
+  return t.ToString();
+}
+
+}  // namespace denotation
+}  // namespace cedr

@@ -1,0 +1,41 @@
+// Ideal history tables (Section 6): the equivalence-class representatives
+// on which operator semantics are defined - no retractions, no CEDR time,
+// no out-of-order delivery. An EventList is the set of events of a
+// unitemporal ideal history table.
+#ifndef CEDR_DENOTATION_IDEAL_H_
+#define CEDR_DENOTATION_IDEAL_H_
+
+#include <vector>
+
+#include "stream/event.h"
+#include "stream/history_table.h"
+#include "stream/message.h"
+
+namespace cedr {
+
+using EventList = std::vector<Event>;
+
+namespace denotation {
+
+/// Sorts by (Vs, Ve, id) - the presentation order used in figures/tests.
+void SortByTime(EventList* events);
+
+/// The ideal table of a physical stream: replay, reduce by K, drop
+/// empty lifetimes, strip CEDR time.
+EventList IdealOf(const std::vector<Message>& stream);
+
+/// Drops events with empty lifetimes.
+EventList DropEmpty(const EventList& events);
+
+/// Multiset equality modulo coalescing: the Definition 11 notion of
+/// "identical after *". Ignores ids (operator runs may generate
+/// different ids for the same logical output).
+bool StarEqual(const EventList& a, const EventList& b);
+
+/// Renders as a Figure 10 style table (ID, Vs, Ve, Payload).
+std::string ToTableString(const EventList& events);
+
+}  // namespace denotation
+}  // namespace cedr
+
+#endif  // CEDR_DENOTATION_IDEAL_H_

@@ -1,0 +1,224 @@
+#include "denotation/relational.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "stream/coalesce.h"
+
+namespace cedr {
+namespace denotation {
+
+EventList Project(const EventList& input,
+                  const std::function<Row(const Row&)>& f) {
+  EventList out;
+  out.reserve(input.size());
+  for (const Event& e : input) {
+    Event o = e;
+    o.payload = f(e.payload);
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+EventList Select(const EventList& input,
+                 const std::function<bool(const Row&)>& f) {
+  EventList out;
+  for (const Event& e : input) {
+    if (f(e.payload)) out.push_back(e);
+  }
+  return out;
+}
+
+EventList Join(const EventList& left, const EventList& right,
+               const std::function<bool(const Row&, const Row&)>& theta,
+               const SchemaPtr& output_schema) {
+  EventList out;
+  for (const Event& l : left) {
+    for (const Event& r : right) {
+      Interval lifetime = l.valid().Intersect(r.valid());
+      if (lifetime.empty()) continue;
+      if (!theta(l.payload, r.payload)) continue;
+      Event o;
+      o.id = IdGen({l.id, r.id});
+      o.k = o.id;
+      o.vs = lifetime.start;
+      o.ve = lifetime.end;
+      o.os = std::max(l.os, r.os);
+      o.oe = kInfinity;
+      o.rt = std::min(l.rt, r.rt);
+      o.cbt = {std::make_shared<const Event>(l),
+               std::make_shared<const Event>(r)};
+      o.payload = l.payload.Concat(r.payload, output_schema);
+      out.push_back(std::move(o));
+    }
+  }
+  return out;
+}
+
+EventList Union(const EventList& left, const EventList& right) {
+  EventList merged = left;
+  merged.insert(merged.end(), right.begin(), right.end());
+  // Set semantics: overlapping equal payload lifetimes are unioned.
+  return Star(merged);
+}
+
+EventList Difference(const EventList& left, const EventList& right) {
+  std::map<Row, IntervalSet> result = ToRelation(left);
+  std::map<Row, IntervalSet> subtrahend = ToRelation(right);
+  for (const auto& [payload, set] : subtrahend) {
+    auto it = result.find(payload);
+    if (it == result.end()) continue;
+    for (const Interval& iv : set.intervals()) it->second.Subtract(iv);
+    if (it->second.empty()) result.erase(it);
+  }
+  return FromRelation(result);
+}
+
+EventList GroupByAggregate(const EventList& input,
+                           const std::vector<std::string>& key_fields,
+                           const std::vector<AggregateSpec>& aggregates,
+                           const SchemaPtr& output_schema) {
+  // Partition events by group key.
+  std::map<std::vector<Value>, EventList> groups;
+  for (const Event& e : input) {
+    if (e.valid().empty()) continue;
+    std::vector<Value> key;
+    key.reserve(key_fields.size());
+    for (const std::string& field : key_fields) {
+      key.push_back(e.payload.Get(field).ValueOr(Value::Null()));
+    }
+    groups[std::move(key)].push_back(e);
+  }
+
+  EventList out;
+  for (const auto& [key, events] : groups) {
+    // Endpoint sweep: between consecutive endpoints the alive set - and
+    // hence every aggregate - is constant.
+    std::set<Time> endpoint_set;
+    for (const Event& e : events) {
+      endpoint_set.insert(e.vs);
+      endpoint_set.insert(e.ve);
+    }
+    std::vector<Time> endpoints(endpoint_set.begin(), endpoint_set.end());
+
+    std::vector<Event> fragments;
+    for (size_t i = 0; i + 1 < endpoints.size(); ++i) {
+      Interval segment{endpoints[i], endpoints[i + 1]};
+      std::vector<std::vector<Value>> columns(aggregates.size());
+      size_t alive = 0;
+      for (const Event& e : events) {
+        if (!e.valid().Contains(segment.start)) continue;
+        ++alive;
+        for (size_t a = 0; a < aggregates.size(); ++a) {
+          if (aggregates[a].kind == AggregateKind::kCount) continue;
+          columns[a].push_back(
+              e.payload.Get(aggregates[a].input_field).ValueOr(Value::Null()));
+        }
+      }
+      if (alive == 0) continue;  // empty group contributes no output
+      std::vector<Value> values = key;
+      bool failed = false;
+      for (size_t a = 0; a < aggregates.size(); ++a) {
+        if (aggregates[a].kind == AggregateKind::kCount) {
+          values.push_back(Value(static_cast<int64_t>(alive)));
+          continue;
+        }
+        auto agg = ComputeAggregate(aggregates[a].kind, columns[a]);
+        if (!agg.ok()) {
+          failed = true;
+          break;
+        }
+        values.push_back(std::move(agg).ValueOrDie());
+      }
+      if (failed) continue;
+      Event frag;
+      frag.vs = segment.start;
+      frag.ve = segment.end;
+      frag.os = segment.start;
+      frag.rt = segment.start;
+      frag.payload = Row(output_schema, std::move(values));
+      fragments.push_back(std::move(frag));
+    }
+    // Maximal constant-value intervals: coalesce adjacent equal fragments.
+    EventList coalesced = Star(fragments);
+    out.insert(out.end(), coalesced.begin(), coalesced.end());
+  }
+  SortByTime(&out);
+  return out;
+}
+
+EventList AlterLifetime(const EventList& input,
+                        const std::function<Time(const Event&)>& fvs,
+                        const std::function<Duration(const Event&)>& fdelta) {
+  EventList out;
+  out.reserve(input.size());
+  for (const Event& e : input) {
+    Event o = e;
+    Time start = fvs(e);
+    if (start != kInfinity && start < 0) start = -start;  // the paper's |.|
+    Duration delta = fdelta(e);
+    if (delta != kInfinity && delta < 0) delta = -delta;
+    o.vs = start;
+    o.ve = TimeAdd(start, delta);
+    if (!o.valid().empty()) out.push_back(std::move(o));
+  }
+  return out;
+}
+
+EventList SlidingWindow(const EventList& input, Duration wl) {
+  return AlterLifetime(
+      input, [](const Event& e) { return e.vs; },
+      [wl](const Event& e) {
+        Duration life = e.ve == kInfinity ? kInfinity : e.ve - e.vs;
+        return std::min(life, wl);
+      });
+}
+
+EventList HoppingWindow(const EventList& input, Duration wl,
+                        Duration period) {
+  return AlterLifetime(
+      input,
+      [period](const Event& e) { return (e.vs / period) * period; },
+      [wl](const Event&) { return wl; });
+}
+
+EventList Inserts(const EventList& input) {
+  return AlterLifetime(
+      input, [](const Event& e) { return e.vs; },
+      [](const Event&) { return kInfinity; });
+}
+
+EventList Deletes(const EventList& input) {
+  EventList finite;
+  for (const Event& e : input) {
+    if (e.ve != kInfinity) finite.push_back(e);
+  }
+  return AlterLifetime(
+      finite, [](const Event& e) { return e.ve; },
+      [](const Event&) { return kInfinity; });
+}
+
+EventList SliceValid(const EventList& input, Interval slice) {
+  EventList out;
+  for (const Event& e : input) {
+    Interval clipped = e.valid().Intersect(slice);
+    if (clipped.empty()) continue;
+    Event o = e;
+    o.vs = clipped.start;
+    o.ve = clipped.end;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+EventList SliceOccurrence(const EventList& input, Interval slice) {
+  EventList out;
+  for (const Event& e : input) {
+    if (e.occurrence().Overlaps(slice)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace denotation
+}  // namespace cedr

@@ -1,0 +1,82 @@
+// Denotational semantics of the view-update-compliant runtime operators
+// (Section 6, Definitions 7-12) as pure functions over unitemporal ideal
+// history tables. These are the specification the incremental operators
+// in src/ops must converge to (Definition 6, well-behavedness).
+#ifndef CEDR_DENOTATION_RELATIONAL_H_
+#define CEDR_DENOTATION_RELATIONAL_H_
+
+#include <functional>
+
+#include "denotation/ideal.h"
+#include "ops/aggregate.h"
+
+namespace cedr {
+namespace denotation {
+
+/// Definition 7, SQL projection pi_f(S): payload transform, timestamps
+/// untouched. `f` must be pure.
+EventList Project(const EventList& input,
+                  const std::function<Row(const Row&)>& f);
+
+/// Definition 8, selection sigma_f(S).
+EventList Select(const EventList& input,
+                 const std::function<bool(const Row&)>& f);
+
+/// Definition 9, join: output lifetime is the intersection of the input
+/// lifetimes (Vs = max, Ve = min, kept when non-empty), payloads
+/// concatenated under `output_schema`, theta over both payloads.
+EventList Join(const EventList& left, const EventList& right,
+               const std::function<bool(const Row&, const Row&)>& theta,
+               const SchemaPtr& output_schema);
+
+/// Set-semantics temporal union: for each payload, the union of its
+/// lifetimes across both inputs.
+EventList Union(const EventList& left, const EventList& right);
+
+/// Set-semantics temporal difference: each payload's left lifetime minus
+/// its right lifetime.
+EventList Difference(const EventList& left, const EventList& right);
+
+/// Temporal group-by aggregation with view update (snapshot) semantics:
+/// at every instant, each non-empty group's output row is its key fields
+/// followed by the aggregate values over events alive at that instant.
+/// Output lifetimes are maximal intervals of constant aggregate value.
+///
+/// `key_fields` may be empty (a single global group).
+EventList GroupByAggregate(const EventList& input,
+                           const std::vector<std::string>& key_fields,
+                           const std::vector<AggregateSpec>& aggregates,
+                           const SchemaPtr& output_schema);
+
+/// Definition 12, AlterLifetime Pi_{fvs, fdelta}(S): maps each event to
+/// lifetime [|fvs(e)|, |fvs(e)| + |fdelta(e)|). The only operator that is
+/// not view update compliant (it can observe lifetime packaging), yet
+/// still well behaved.
+EventList AlterLifetime(const EventList& input,
+                        const std::function<Time(const Event&)>& fvs,
+                        const std::function<Duration(const Event&)>& fdelta);
+
+/// W_wl(S) = Pi_{Vs, min(Ve - Vs, wl)}(S): clips lifetimes to wl.
+EventList SlidingWindow(const EventList& input, Duration wl);
+
+/// Hopping window via integer division: lifetime becomes the length-wl
+/// window starting at the period boundary at or before Vs.
+EventList HoppingWindow(const EventList& input, Duration wl, Duration period);
+
+/// Inserts(S) = Pi_{Vs, inf}(S); Deletes(S) = Pi_{Ve, inf}(S).
+EventList Inserts(const EventList& input);
+EventList Deletes(const EventList& input);
+
+/// Temporal slicing (Section 3.2): Q # [tv1, tv2) keeps only the output
+/// valid within the slice - realized as clipping each lifetime to the
+/// slice (empty results drop).
+EventList SliceValid(const EventList& input, Interval slice);
+
+/// Q @ [to1, to2): keeps tuples whose occurrence interval intersects the
+/// slice.
+EventList SliceOccurrence(const EventList& input, Interval slice);
+
+}  // namespace denotation
+}  // namespace cedr
+
+#endif  // CEDR_DENOTATION_RELATIONAL_H_

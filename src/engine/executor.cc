@@ -1,0 +1,27 @@
+#include "engine/executor.h"
+
+namespace cedr {
+
+Status Executor::Run(const std::vector<LabeledStream>& streams) {
+  auto merged = MergeByArrival(streams);
+  for (const auto& [type, msg] : merged) {
+    CEDR_RETURN_NOT_OK(Push(type, msg));
+  }
+  return Finish();
+}
+
+Status Executor::Push(const std::string& event_type, const Message& msg) {
+  for (CompiledQuery* query : queries_) {
+    CEDR_RETURN_NOT_OK(query->Push(event_type, msg));
+  }
+  return Status::OK();
+}
+
+Status Executor::Finish() {
+  for (CompiledQuery* query : queries_) {
+    CEDR_RETURN_NOT_OK(query->Finish());
+  }
+  return Status::OK();
+}
+
+}  // namespace cedr

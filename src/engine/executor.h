@@ -1,0 +1,31 @@
+// Executor: feeds labeled input streams to one or more standing queries
+// in CEDR-time (arrival) order - the single-threaded reference
+// event-loop of the system.
+#ifndef CEDR_ENGINE_EXECUTOR_H_
+#define CEDR_ENGINE_EXECUTOR_H_
+
+#include "engine/query.h"
+#include "engine/source.h"
+
+namespace cedr {
+
+class Executor {
+ public:
+  /// Registers a query; the executor does not take ownership.
+  void Register(CompiledQuery* query) { queries_.push_back(query); }
+
+  /// Merges the streams by arrival time, pushes every message into every
+  /// registered query, then finishes the queries.
+  Status Run(const std::vector<LabeledStream>& streams);
+
+  /// Push a single message (incremental use).
+  Status Push(const std::string& event_type, const Message& msg);
+  Status Finish();
+
+ private:
+  std::vector<CompiledQuery*> queries_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_EXECUTOR_H_

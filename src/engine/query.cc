@@ -1,0 +1,82 @@
+#include "engine/query.h"
+
+#include "common/format.h"
+#include "lang/parser.h"
+
+namespace cedr {
+
+Result<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
+    const std::string& text, const Catalog& catalog,
+    std::optional<ConsistencySpec> spec_override) {
+  CEDR_ASSIGN_OR_RETURN(ast::Query ast, ParseQuery(text));
+  CEDR_ASSIGN_OR_RETURN(plan::BoundQuery bound, Bind(ast, catalog));
+  if (spec_override.has_value()) bound.spec = *spec_override;
+  return FromBound(std::move(bound));
+}
+
+Result<std::unique_ptr<CompiledQuery>> CompiledQuery::FromBound(
+    plan::BoundQuery bound) {
+  auto query = std::unique_ptr<CompiledQuery>(new CompiledQuery());
+  query->bound_ = std::move(bound);
+  query->optimize_result_ = plan::Optimize(&query->bound_);
+  CEDR_ASSIGN_OR_RETURN(query->physical_,
+                        plan::BuildPhysicalPlan(query->bound_));
+  query->sink_ = std::make_unique<CollectingSink>(
+      StrCat("sink:", query->bound_.name));
+  query->physical_->output->ConnectTo(query->sink_.get(), 0);
+  return query;
+}
+
+Status CompiledQuery::Push(const std::string& event_type, const Message& msg) {
+  if (finished_) {
+    return Status::ExecutionError("query already finished");
+  }
+  last_cs_ = std::max(last_cs_, msg.cs);
+  auto it = physical_->inputs.find(event_type);
+  if (it == physical_->inputs.end()) {
+    // Not an input of this query: ignore (pub/sub style routing).
+    return Status::OK();
+  }
+  for (auto& [op, port] : it->second) {
+    CEDR_RETURN_NOT_OK(op->Push(port, msg));
+  }
+  return Status::OK();
+}
+
+Status CompiledQuery::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  Message end = CtiOf(kInfinity, last_cs_ + 1);
+  for (auto& [type, entries] : physical_->inputs) {
+    for (auto& [op, port] : entries) {
+      CEDR_RETURN_NOT_OK(op->Push(port, end));
+    }
+  }
+  // Drain in construction order: parents were constructed before the
+  // children they consume from... construction pushes parent after its
+  // op? Children-first order holds: WirePositiveChild builds children
+  // inside BuildNode after creating the parent, so drain twice to settle
+  // any stragglers, then once more through the sink.
+  for (int round = 0; round < 2; ++round) {
+    for (auto& op : physical_->operators) {
+      CEDR_RETURN_NOT_OK(op->Drain());
+    }
+  }
+  return sink_->Drain();
+}
+
+QueryStats CompiledQuery::Stats() const {
+  std::vector<const Operator*> ops;
+  ops.reserve(physical_->operators.size());
+  for (const auto& op : physical_->operators) ops.push_back(op.get());
+  return CollectStats(ops);
+}
+
+std::vector<std::string> CompiledQuery::InputTypes() const {
+  std::vector<std::string> out;
+  out.reserve(physical_->inputs.size());
+  for (const auto& [type, entries] : physical_->inputs) out.push_back(type);
+  return out;
+}
+
+}  // namespace cedr

@@ -1,0 +1,63 @@
+// CompiledQuery: a registered standing query - parsed, bound, optimized,
+// compiled to a physical operator graph and wired to a collecting sink.
+#ifndef CEDR_ENGINE_QUERY_H_
+#define CEDR_ENGINE_QUERY_H_
+
+#include <memory>
+#include <optional>
+
+#include "engine/sink.h"
+#include "engine/stats.h"
+#include "lang/binder.h"
+#include "plan/optimizer.h"
+#include "plan/physical.h"
+
+namespace cedr {
+
+class CompiledQuery {
+ public:
+  /// Parses, binds, optimizes and builds `text` against `catalog`.
+  /// `spec_override` replaces the query's CONSISTENCY clause (used by the
+  /// benches to sweep the consistency spectrum over one query).
+  static Result<std::unique_ptr<CompiledQuery>> Compile(
+      const std::string& text, const Catalog& catalog,
+      std::optional<ConsistencySpec> spec_override = std::nullopt);
+
+  /// Builds directly from a bound query (programmatic plan API).
+  static Result<std::unique_ptr<CompiledQuery>> FromBound(
+      plan::BoundQuery bound);
+
+  /// Pushes one message into every input fed by `event_type`.
+  Status Push(const std::string& event_type, const Message& msg);
+
+  /// Ends the input: a CTI(inf) on every input port (converging all
+  /// consistency levels per Definition 6), then a drain.
+  Status Finish();
+
+  const CollectingSink& sink() const { return *sink_; }
+  const plan::BoundQuery& bound() const { return bound_; }
+  const plan::PhysicalPlan& physical() const { return *physical_; }
+  const plan::OptimizeResult& optimize_result() const {
+    return optimize_result_;
+  }
+
+  /// Aggregated statistics including the sink.
+  QueryStats Stats() const;
+
+  /// Input event types this query listens to.
+  std::vector<std::string> InputTypes() const;
+
+ private:
+  CompiledQuery() = default;
+
+  plan::BoundQuery bound_;
+  plan::OptimizeResult optimize_result_;
+  std::unique_ptr<plan::PhysicalPlan> physical_;
+  std::unique_ptr<CollectingSink> sink_;
+  Time last_cs_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_QUERY_H_

@@ -1,0 +1,107 @@
+#include "engine/service.h"
+
+#include "common/format.h"
+
+namespace cedr {
+
+Status CedrService::RegisterEventType(const std::string& name,
+                                      SchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("event type needs a schema");
+  }
+  auto it = catalog_.find(name);
+  if (it != catalog_.end()) {
+    if (it->second->Equals(*schema)) return Status::OK();
+    return Status::AlreadyExists(
+        StrCat("event type '", name, "' already registered with schema ",
+               it->second->ToString()));
+  }
+  catalog_.emplace(name, std::move(schema));
+  return Status::OK();
+}
+
+Result<std::string> CedrService::RegisterQuery(
+    const std::string& text, std::optional<ConsistencySpec> spec_override) {
+  if (finished_) return Status::ExecutionError("service already finished");
+  CEDR_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> query,
+                        CompiledQuery::Compile(text, catalog_,
+                                               spec_override));
+  std::string name = query->bound().name;
+  if (queries_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StrCat("a query named '", name, "' is already registered"));
+  }
+  queries_.emplace(name, std::move(query));
+  return name;
+}
+
+Status CedrService::UnregisterQuery(const std::string& name) {
+  if (queries_.erase(name) == 0) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  return Status::OK();
+}
+
+Status CedrService::Route(const std::string& type, const Message& msg) {
+  if (finished_) return Status::ExecutionError("service already finished");
+  if (catalog_.count(type) == 0) {
+    return Status::NotFound(StrCat("unknown event type '", type, "'"));
+  }
+  for (auto& [name, query] : queries_) {
+    CEDR_RETURN_NOT_OK(query->Push(type, msg));
+  }
+  return Status::OK();
+}
+
+Status CedrService::Publish(const std::string& type, Event event) {
+  auto it = catalog_.find(type);
+  if (it == catalog_.end()) {
+    return Status::NotFound(StrCat("unknown event type '", type, "'"));
+  }
+  if (event.payload.schema() != nullptr &&
+      !event.payload.schema()->Equals(*it->second)) {
+    return Status::InvalidArgument(
+        StrCat("payload schema does not match event type '", type, "'"));
+  }
+  return Route(type, InsertOf(std::move(event), next_cs_++));
+}
+
+Status CedrService::PublishRetraction(const std::string& type,
+                                      const Event& original, Time new_end) {
+  if (new_end >= original.ve) {
+    return Status::InvalidArgument(
+        "retractions only shrink lifetimes (new end must be smaller)");
+  }
+  return Route(type, RetractOf(original, new_end, next_cs_++));
+}
+
+Status CedrService::PublishSyncPoint(const std::string& type, Time t) {
+  return Route(type, CtiOf(t, next_cs_++));
+}
+
+Status CedrService::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  for (auto& [name, query] : queries_) {
+    CEDR_RETURN_NOT_OK(query->Finish());
+  }
+  return Status::OK();
+}
+
+Result<const CompiledQuery*> CedrService::GetQuery(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  return static_cast<const CompiledQuery*>(it->second.get());
+}
+
+std::vector<std::string> CedrService::QueryNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [name, query] : queries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cedr

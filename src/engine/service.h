@@ -1,0 +1,65 @@
+// CedrService: the embeddable event service - register event types,
+// register standing queries (each with its own consistency requirement,
+// per the paper's "users can specify consistency requirements on a per
+// query basis"), publish events/corrections/sync points, and read each
+// query's output.
+#ifndef CEDR_ENGINE_SERVICE_H_
+#define CEDR_ENGINE_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "engine/query.h"
+
+namespace cedr {
+
+class CedrService {
+ public:
+  /// Declares an event type. Re-registering with an identical schema is
+  /// a no-op; changing the schema of a known type is an error.
+  Status RegisterEventType(const std::string& name, SchemaPtr schema);
+
+  /// Compiles and registers a standing query. The query's name (from
+  /// its EVENT clause) identifies it; duplicates are rejected.
+  /// `spec_override` replaces the query's CONSISTENCY clause.
+  Result<std::string> RegisterQuery(
+      const std::string& text,
+      std::optional<ConsistencySpec> spec_override = std::nullopt);
+
+  Status UnregisterQuery(const std::string& name);
+
+  /// Publishes an event occurrence; the service stamps the arrival
+  /// (CEDR) time and routes to every query subscribed to `type`.
+  Status Publish(const std::string& type, Event event);
+
+  /// Publishes a provider correction: the event's lifetime shrinks to
+  /// [vs, new_end).
+  Status PublishRetraction(const std::string& type, const Event& original,
+                           Time new_end);
+
+  /// Publishes a provider sync point for `type`: no later message on
+  /// that type has sync time < t.
+  Status PublishSyncPoint(const std::string& type, Time t);
+
+  /// Ends all inputs and flushes every query (blocking levels emit
+  /// their final output here).
+  Status Finish();
+
+  Result<const CompiledQuery*> GetQuery(const std::string& name) const;
+  std::vector<std::string> QueryNames() const;
+  const Catalog& catalog() const { return catalog_; }
+  Time now() const { return next_cs_; }
+
+ private:
+  Status Route(const std::string& type, const Message& msg);
+
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<CompiledQuery>> queries_;
+  Time next_cs_ = 1;
+  bool finished_ = false;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_SERVICE_H_

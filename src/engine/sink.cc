@@ -1,0 +1,47 @@
+#include "engine/sink.h"
+
+#include "stream/canonical.h"
+
+namespace cedr {
+
+CollectingSink::CollectingSink(std::string name)
+    : Operator(std::move(name), ConsistencySpec::Middle(), /*num_inputs=*/1) {}
+
+Status CollectingSink::ProcessInsert(const Event& e, int /*port*/) {
+  ++inserts_;
+  messages_.push_back(InsertOf(e, now_cs()));
+  return Status::OK();
+}
+
+Status CollectingSink::ProcessRetract(const Event& e, Time new_ve,
+                                      int /*port*/) {
+  ++retracts_;
+  messages_.push_back(RetractOf(e, new_ve, now_cs()));
+  return Status::OK();
+}
+
+Status CollectingSink::ProcessCti(Time t, int /*port*/) {
+  ++ctis_;
+  messages_.push_back(CtiOf(t, now_cs()));
+  return Status::OK();
+}
+
+EventList CollectingSink::Ideal() const {
+  return denotation::IdealOf(messages_);
+}
+
+EventList CollectingSink::AliveAt(Time t) const {
+  EventList ideal = Ideal();
+  EventList out;
+  for (const Event& e : ideal) {
+    if (e.valid().Contains(t)) out.push_back(e);
+  }
+  return out;
+}
+
+void CollectingSink::Clear() {
+  messages_.clear();
+  inserts_ = retracts_ = ctis_ = 0;
+}
+
+}  // namespace cedr

@@ -1,0 +1,49 @@
+// CollectingSink: terminal operator that records the output stream and
+// derives the converged logical result.
+#ifndef CEDR_ENGINE_SINK_H_
+#define CEDR_ENGINE_SINK_H_
+
+#include "denotation/ideal.h"
+#include "ops/operator.h"
+
+namespace cedr {
+
+class CollectingSink : public Operator {
+ public:
+  explicit CollectingSink(std::string name = "sink");
+
+  /// Every message received, in arrival order (the physical output
+  /// stream, including retractions and CTIs).
+  const std::vector<Message>& messages() const { return messages_; }
+
+  /// The converged logical output: replay, reduce, drop empties
+  /// (Section 6's ideal history table of the output).
+  EventList Ideal() const;
+
+  /// Live output at occurrence... at valid time t: events whose final
+  /// lifetime contains t.
+  EventList AliveAt(Time t) const;
+
+  uint64_t inserts() const { return inserts_; }
+  uint64_t retracts() const { return retracts_; }
+  uint64_t ctis() const { return ctis_; }
+  /// Output size in the Figure 8 sense.
+  uint64_t OutputSize() const { return inserts_ + retracts_; }
+
+  void Clear();
+
+ protected:
+  Status ProcessInsert(const Event& e, int port) override;
+  Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+  Status ProcessCti(Time t, int port) override;
+
+ private:
+  std::vector<Message> messages_;
+  uint64_t inserts_ = 0;
+  uint64_t retracts_ = 0;
+  uint64_t ctis_ = 0;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_SINK_H_

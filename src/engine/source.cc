@@ -1,0 +1,51 @@
+#include "engine/source.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+StreamBuilder& StreamBuilder::Insert(Event e) {
+  messages_.push_back(InsertOf(std::move(e), next_cs_++));
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::Insert(EventId id, Time vs, Time ve,
+                                     Row payload) {
+  return Insert(MakeEvent(id, vs, ve, std::move(payload)));
+}
+
+StreamBuilder& StreamBuilder::Retract(const Event& e, Time new_ve) {
+  messages_.push_back(RetractOf(e, new_ve, next_cs_++));
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::Retract(EventId id, Time vs, Time old_ve,
+                                      Time new_ve, Row payload) {
+  Event e = MakeEvent(id, vs, old_ve, std::move(payload));
+  return Retract(e, new_ve);
+}
+
+StreamBuilder& StreamBuilder::Cti(Time t) {
+  messages_.push_back(CtiOf(t, next_cs_++));
+  return *this;
+}
+
+std::vector<std::pair<std::string, Message>> MergeByArrival(
+    const std::vector<LabeledStream>& streams) {
+  std::vector<std::pair<std::string, Message>> merged;
+  size_t total = 0;
+  for (const LabeledStream& s : streams) total += s.messages.size();
+  merged.reserve(total);
+  for (const LabeledStream& s : streams) {
+    for (const Message& m : s.messages) {
+      merged.emplace_back(s.event_type, m);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.cs < b.second.cs;
+                   });
+  return merged;
+}
+
+}  // namespace cedr

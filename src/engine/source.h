@@ -1,0 +1,50 @@
+// Stream construction helpers: build physical message streams with CEDR
+// arrival timestamps.
+#ifndef CEDR_ENGINE_SOURCE_H_
+#define CEDR_ENGINE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/message.h"
+
+namespace cedr {
+
+/// Builds an ordered physical stream; each appended message gets the
+/// next CEDR arrival timestamp (monotonically increasing).
+class StreamBuilder {
+ public:
+  explicit StreamBuilder(Time start_cs = 1) : next_cs_(start_cs) {}
+
+  StreamBuilder& Insert(Event e);
+  StreamBuilder& Insert(EventId id, Time vs, Time ve, Row payload = Row());
+  StreamBuilder& Retract(const Event& e, Time new_ve);
+  StreamBuilder& Retract(EventId id, Time vs, Time old_ve, Time new_ve,
+                         Row payload = Row());
+  StreamBuilder& Cti(Time t);
+
+  Time next_cs() const { return next_cs_; }
+
+  std::vector<Message> Build() && { return std::move(messages_); }
+  const std::vector<Message>& messages() const { return messages_; }
+
+ private:
+  std::vector<Message> messages_;
+  Time next_cs_;
+};
+
+/// A named input stream for a query (event type -> messages).
+struct LabeledStream {
+  std::string event_type;
+  std::vector<Message> messages;
+};
+
+/// Interleaves several labeled streams into a single arrival sequence
+/// ordered by cs (stable for equal cs). Returns (event type, message)
+/// pairs.
+std::vector<std::pair<std::string, Message>> MergeByArrival(
+    const std::vector<LabeledStream>& streams);
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_SOURCE_H_

@@ -1,0 +1,47 @@
+#include "engine/stats.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace cedr {
+
+double QueryStats::MeanBlocking() const {
+  if (released_messages == 0) return 0.0;
+  return static_cast<double>(total_blocking) /
+         static_cast<double>(released_messages);
+}
+
+std::string QueryStats::ToString() const {
+  std::string out =
+      StrCat("query stats: output=", OutputSize(), " (", out_inserts, " ins, ",
+             out_retracts, " ret), lost=", lost_corrections,
+             ", state(max)=", max_state_size, ", buffer(max)=",
+             max_buffer_size, ", blocking(mean)=",
+             FormatDouble(MeanBlocking()), ", blocking(max)=", max_blocking,
+             "\n");
+  for (const OperatorStats& s : per_operator) {
+    out += "  " + s.ToString() + "\n";
+  }
+  return out;
+}
+
+QueryStats CollectStats(const std::vector<const Operator*>& operators) {
+  QueryStats out;
+  for (const Operator* op : operators) {
+    OperatorStats s = op->stats();
+    out.out_inserts += s.out_inserts;
+    out.out_retracts += s.out_retracts;
+    out.lost_corrections += s.lost_corrections;
+    out.max_state_size = std::max(out.max_state_size, s.max_state_size);
+    out.total_state_size += s.max_state_size;
+    out.max_buffer_size = std::max(out.max_buffer_size, s.alignment.max_size);
+    out.total_blocking += s.alignment.total_blocking_cs;
+    out.max_blocking = std::max(out.max_blocking, s.alignment.max_blocking_cs);
+    out.released_messages += s.alignment.released;
+    out.per_operator.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace cedr

@@ -1,0 +1,45 @@
+// Query-level statistics: the quantities Figure 8 reasons about
+// (blocking, state size, output size) aggregated over a plan's
+// operators.
+#ifndef CEDR_ENGINE_STATS_H_
+#define CEDR_ENGINE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace cedr {
+
+struct QueryStats {
+  std::vector<OperatorStats> per_operator;
+
+  uint64_t out_inserts = 0;
+  uint64_t out_retracts = 0;
+  uint64_t lost_corrections = 0;
+  /// Maximum operator state (events) across the plan, and the sum.
+  size_t max_state_size = 0;
+  size_t total_state_size = 0;
+  /// Maximum alignment-buffer occupancy across the plan.
+  size_t max_buffer_size = 0;
+  /// Blocking in CEDR-time units: total and worst single message.
+  Time total_blocking = 0;
+  Time max_blocking = 0;
+  uint64_t released_messages = 0;
+
+  /// Mean blocking per released message.
+  double MeanBlocking() const;
+  /// Output size in the Figure 8 sense (state updates, not CTIs).
+  uint64_t OutputSize() const { return out_inserts + out_retracts; }
+  /// Peak memory footprint proxy: operator state + alignment buffers.
+  size_t StateFootprint() const { return max_state_size + max_buffer_size; }
+
+  std::string ToString() const;
+};
+
+/// Aggregates over a set of operators (a physical plan).
+QueryStats CollectStats(const std::vector<const Operator*>& operators);
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_STATS_H_

@@ -1,0 +1,133 @@
+#include "engine/switching.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cedr {
+
+void SwitchableQuery::SpliceState::Append(const std::vector<Message>& more) {
+  for (const Message& m : more) {
+    switch (m.kind) {
+      case MessageKind::kInsert:
+        if (!inserted.insert(m.event.id).second) continue;  // duplicate
+        break;
+      case MessageKind::kRetract:
+        if (!retracted.insert({m.event.id, m.new_ve}).second) continue;
+        break;
+      case MessageKind::kCti:
+        if (m.time <= last_cti) continue;
+        last_cti = m.time;
+        break;
+    }
+    messages.push_back(m);
+  }
+}
+
+Result<std::unique_ptr<SwitchableQuery>> SwitchableQuery::Create(
+    const std::string& text, const Catalog& catalog,
+    ConsistencySpec initial_spec) {
+  auto query = std::unique_ptr<SwitchableQuery>(new SwitchableQuery());
+  query->text_ = text;
+  query->catalog_ = catalog;
+  query->spec_ = initial_spec;
+  CEDR_ASSIGN_OR_RETURN(query->active_,
+                        CompiledQuery::Compile(text, catalog, initial_spec));
+  return query;
+}
+
+Status SwitchableQuery::Push(const std::string& event_type,
+                             const Message& msg) {
+  if (finished_) return Status::ExecutionError("query already finished");
+  last_cs_ = std::max(last_cs_, msg.cs);
+  input_.emplace_back(event_type, msg);
+  return active_->Push(event_type, msg);
+}
+
+Result<Time> SwitchableQuery::SwitchTo(ConsistencySpec spec) {
+  if (finished_) return Status::ExecutionError("query already finished");
+  if (spec == spec_) return last_cs_;
+
+  // Retire the active plan: everything it has emitted becomes part of
+  // the spliced prefix (identity-level deduplication absorbs what a
+  // replayed predecessor already produced).
+  spliced_.Append(active_->sink().messages());
+
+  // Start the new level and bring it up to date by replaying the
+  // retained input; determinism lines its identities up with the
+  // retired plan's.
+  CEDR_ASSIGN_OR_RETURN(auto fresh,
+                        CompiledQuery::Compile(text_, catalog_, spec));
+  for (const auto& [type, msg] : input_) {
+    CEDR_RETURN_NOT_OK(fresh->Push(type, msg));
+  }
+  active_ = std::move(fresh);
+  spec_ = spec;
+  ++switches_;
+  return last_cs_ + 1;
+}
+
+Status SwitchableQuery::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  return active_->Finish();
+}
+
+std::vector<Message> SwitchableQuery::OutputMessages() const {
+  SpliceState out = spliced_;
+  out.Append(active_->sink().messages());
+  if (!finished_) return std::move(out.messages);
+
+  // Finish-time reconciliation: output emitted by a retired level that
+  // the final level would never confirm (e.g. optimistic inserts whose
+  // blocker arrived only after a switch to strong) is repaired with
+  // synthesized retractions - the corrections a real state transfer
+  // would emit when aligning the levels. After this, the spliced
+  // stream's converged state equals the active plan's.
+  EventList target = active_->sink().Ideal();
+  std::map<EventId, const Event*> target_by_id;
+  for (const Event& e : target) target_by_id[e.id] = &e;
+  EventList current = denotation::IdealOf(out.messages);
+  Time cs = last_cs_ + 1;
+  for (const Event& e : current) {
+    auto it = target_by_id.find(e.id);
+    if (it == target_by_id.end()) {
+      out.messages.push_back(RetractOf(e, e.vs, cs));  // stale: remove
+      continue;
+    }
+    const Event& t = *it->second;
+    if (t.vs == e.vs && t.ve == e.ve) {
+      target_by_id.erase(it);
+      continue;
+    }
+    if (t.vs == e.vs && t.ve < e.ve) {
+      out.messages.push_back(RetractOf(e, t.ve, cs));  // shrink
+    } else {
+      // Lifetimes disagree in a way retraction cannot express:
+      // remove-and-reinsert under a fresh identity (Section 4).
+      out.messages.push_back(RetractOf(e, e.vs, cs));
+      Event fresh = t;
+      fresh.id = IdGen({t.id, 0xC0FFEE});
+      fresh.k = fresh.id;
+      out.messages.push_back(InsertOf(fresh, cs));
+    }
+    target_by_id.erase(it);
+  }
+  for (const auto& [id, t] : target_by_id) {
+    out.messages.push_back(InsertOf(*t, cs));  // confirmed but unspliced
+  }
+  return std::move(out.messages);
+}
+
+EventList SwitchableQuery::Ideal() const {
+  return denotation::IdealOf(OutputMessages());
+}
+
+ConsistencySpec LoadPolicy::Recommend(const QueryStats& stats) const {
+  if (stats.max_state_size > max_state ||
+      stats.max_buffer_size > max_buffer) {
+    return overload;
+  }
+  return preferred;
+}
+
+}  // namespace cedr

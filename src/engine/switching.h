@@ -1,0 +1,99 @@
+// Runtime consistency-level switching (Section 5 / the paper's "future
+// work": consistency-sensitive optimization that switches levels under
+// load).
+//
+// Section 5 proves that at common sync points all levels have produced
+// logically equivalent output, so a query may switch levels there and
+// "produce the same subsequent stream as if CEDR had been running at
+// that consistency level all along". SwitchableQuery realizes this by
+// determinism + replay: all input is retained (up to a configurable
+// horizon we keep it simple and retain everything); on SwitchTo(spec)
+// the input is replayed through a fresh plan at the new level. Because
+// plans are deterministic - composite ids derive from contributor ids,
+// repair ids from per-operator counters - the new run reproduces the
+// old run's event identities, so the spliced output stream (old output
+// before the switch, new output after) is a well-formed CEDR stream:
+// retractions emitted after the switch correctly reference optimistic
+// inserts emitted before it.
+#ifndef CEDR_ENGINE_SWITCHING_H_
+#define CEDR_ENGINE_SWITCHING_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "engine/query.h"
+
+namespace cedr {
+
+class SwitchableQuery {
+ public:
+  static Result<std::unique_ptr<SwitchableQuery>> Create(
+      const std::string& text, const Catalog& catalog,
+      ConsistencySpec initial_spec);
+
+  Status Push(const std::string& event_type, const Message& msg);
+  Status Finish();
+
+  /// Switches the running query to `spec`. Returns the CEDR time of the
+  /// switch. May be called multiple times.
+  Result<Time> SwitchTo(ConsistencySpec spec);
+
+  const ConsistencySpec& current_spec() const { return spec_; }
+  int switches() const { return switches_; }
+
+  /// The spliced physical output stream: segments produced by each
+  /// level, concatenated at the switch times.
+  std::vector<Message> OutputMessages() const;
+
+  /// Converged logical output of the spliced stream.
+  EventList Ideal() const;
+
+  /// Statistics of the currently active plan.
+  QueryStats Stats() const { return active_->Stats(); }
+  const CompiledQuery& active() const { return *active_; }
+
+ private:
+  SwitchableQuery() = default;
+
+  struct SpliceState {
+    std::vector<Message> messages;
+    std::set<EventId> inserted;
+    std::set<std::pair<EventId, Time>> retracted;
+    Time last_cti = kMinTime;
+
+    /// Appends `more` while skipping messages whose identity was already
+    /// emitted (deterministic plans re-emit identical ids on replay) and
+    /// keeping CTIs monotone.
+    void Append(const std::vector<Message>& more);
+  };
+
+  std::string text_;
+  Catalog catalog_;
+  ConsistencySpec spec_ = ConsistencySpec::Middle();
+  std::unique_ptr<CompiledQuery> active_;
+  /// Retained input for replay, in arrival order.
+  std::vector<std::pair<std::string, Message>> input_;
+  /// Output of all retired plans, identity-deduplicated.
+  SpliceState spliced_;
+  Time last_cs_ = 0;
+  int switches_ = 0;
+  bool finished_ = false;
+};
+
+/// A simple load policy for adaptive switching: recommends dropping to a
+/// cheaper level when the plan's footprint exceeds the thresholds, and
+/// returning to the preferred level when it recedes.
+struct LoadPolicy {
+  size_t max_state = 1 << 16;
+  size_t max_buffer = 1 << 16;
+  ConsistencySpec preferred = ConsistencySpec::Strong();
+  ConsistencySpec overload = ConsistencySpec::Weak(0);
+
+  /// The spec the query should be running at given its current stats.
+  ConsistencySpec Recommend(const QueryStats& stats) const;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_SWITCHING_H_

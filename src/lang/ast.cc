@@ -1,0 +1,164 @@
+#include "lang/ast.h"
+
+#include "common/format.h"
+
+namespace cedr {
+namespace ast {
+
+const char* PatternKindToString(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kEventType:
+      return "EVENT_TYPE";
+    case PatternKind::kSequence:
+      return "SEQUENCE";
+    case PatternKind::kAll:
+      return "ALL";
+    case PatternKind::kAny:
+      return "ANY";
+    case PatternKind::kAtLeast:
+      return "ATLEAST";
+    case PatternKind::kAtMost:
+      return "ATMOST";
+    case PatternKind::kUnless:
+      return "UNLESS";
+    case PatternKind::kNot:
+      return "NOT";
+    case PatternKind::kCancelWhen:
+      return "CANCEL-WHEN";
+  }
+  return "?";
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  if (kind == PatternKind::kEventType) {
+    out = event_type;
+  } else {
+    out = PatternKindToString(kind);
+    out += "(";
+    bool first = true;
+    if (kind == PatternKind::kAtLeast || kind == PatternKind::kAtMost) {
+      out += std::to_string(count);
+      first = false;
+    }
+    for (const auto& child : children) {
+      if (!first) out += ", ";
+      out += child->ToString();
+      first = false;
+    }
+    // The UNLESS' anchored variant spells its anchor index before the
+    // scope: UNLESS(E1, E2, n, w).
+    if (kind == PatternKind::kUnless && count > 0) {
+      out += ", " + std::to_string(count);
+    }
+    if (has_scope) {
+      if (!first) out += ", ";
+      out += TimeToString(scope);
+    }
+    out += ")";
+  }
+  if (!binding.empty()) out += " AS " + binding;
+  if (!(sc == ScMode{})) {
+    // Parseable surface syntax: only the non-default options.
+    std::vector<std::string> options;
+    if (sc.selection == SelectionMode::kFirst) options.push_back("FIRST");
+    if (sc.selection == SelectionMode::kLast) options.push_back("LAST");
+    if (sc.consumption == ConsumptionMode::kConsume) {
+      options.push_back("CONSUME");
+    }
+    out += " WITH (";
+    for (size_t i = 0; i < options.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += options[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string Operand::ToString() const {
+  if (is_literal) return literal.ToString();
+  return binding + "." + attribute;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case PredicateKind::kComparison: {
+      const char* op_str = "=";
+      switch (op) {
+        case AttributeComparison::Op::kEq:
+          op_str = "=";
+          break;
+        case AttributeComparison::Op::kNe:
+          op_str = "!=";
+          break;
+        case AttributeComparison::Op::kLt:
+          op_str = "<";
+          break;
+        case AttributeComparison::Op::kLe:
+          op_str = "<=";
+          break;
+        case AttributeComparison::Op::kGt:
+          op_str = ">";
+          break;
+        case AttributeComparison::Op::kGe:
+          op_str = ">=";
+          break;
+      }
+      return StrCat("{", lhs.ToString(), " ", op_str, " ", rhs.ToString(),
+                    "}");
+    }
+    case PredicateKind::kCorrelationKey:
+      return StrCat("CorrelationKey(", attribute, ", EQUAL)");
+    case PredicateKind::kAttributeEquals:
+      return StrCat("[", attribute, " EQUAL ", literal.ToString(), "]");
+  }
+  return "?";
+}
+
+std::string Query::ToString() const {
+  std::string out = "EVENT " + name + "\nWHEN " +
+                    (when ? when->ToString() : std::string("<none>"));
+  if (!where.empty()) {
+    out += "\nWHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += where[i].ToString();
+    }
+  }
+  if (!output.empty()) {
+    out += "\nOUTPUT ";
+    for (size_t i = 0; i < output.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += output[i].binding + "." + output[i].attribute;
+      if (!output[i].alias.empty()) out += " AS " + output[i].alias;
+    }
+  }
+  if (consistency.has_value()) {
+    // Print the parseable surface syntax, not the diagnostic form.
+    out += "\nCONSISTENCY ";
+    if (consistency->IsStrong()) {
+      out += "STRONG";
+    } else if (consistency->IsMiddle()) {
+      out += "MIDDLE";
+    } else if (consistency->max_blocking == 0) {
+      out += StrCat("WEAK(", consistency->max_memory, ")");
+    } else {
+      auto spell = [](Duration d) {
+        return d == kInfinity ? std::string("INF") : std::to_string(d);
+      };
+      out += StrCat("CUSTOM(", spell(consistency->max_blocking), ", ",
+                    spell(consistency->max_memory), ")");
+    }
+  }
+  if (occurrence_slice.has_value()) {
+    out += "\n@" + occurrence_slice->ToString();
+  }
+  if (valid_slice.has_value()) {
+    out += "\n#" + valid_slice->ToString();
+  }
+  return out;
+}
+
+}  // namespace ast
+}  // namespace cedr

@@ -1,0 +1,105 @@
+// Abstract syntax of the CEDR query language (Section 3.1):
+//
+//   EVENT <name>
+//   WHEN <pattern expression>
+//   [WHERE <predicate> AND <predicate> ...]
+//   [OUTPUT <binding>.<attr> [AS <alias>], ...]
+//   [CONSISTENCY STRONG | MIDDLE | WEAK[(m [unit])] | CUSTOM(b, m)]
+//   [@[to1, to2)]  [#[tv1, tv2)]
+//
+// Pattern expressions: SEQUENCE / ALL / ANY / ATLEAST / ATMOST / UNLESS /
+// NOT / CANCEL-WHEN over event types, with AS bindings, per-contributor
+// SC modes (WITH (FIRST|LAST|EACH [, CONSUME|REUSE])), and time scopes
+// with units (ticks/seconds/minutes/hours/days).
+#ifndef CEDR_LANG_AST_H_
+#define CEDR_LANG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/value.h"
+#include "consistency/spec.h"
+#include "pattern/predicate.h"
+#include "pattern/sc_mode.h"
+
+namespace cedr {
+namespace ast {
+
+enum class PatternKind {
+  kEventType,
+  kSequence,
+  kAll,
+  kAny,
+  kAtLeast,
+  kAtMost,
+  kUnless,
+  kNot,
+  kCancelWhen,
+};
+
+const char* PatternKindToString(PatternKind kind);
+
+struct Pattern {
+  PatternKind kind = PatternKind::kEventType;
+  std::string event_type;  // kEventType
+  std::string binding;     // AS name (usable in WHERE/OUTPUT)
+  ScMode sc;               // per-contributor SC mode
+  int64_t count = 0;       // n for ATLEAST / ATMOST
+  Duration scope = 0;      // w (already scaled to ticks)
+  bool has_scope = false;
+  std::vector<std::unique_ptr<Pattern>> children;
+  size_t offset = 0;       // source offset for diagnostics
+
+  std::string ToString() const;
+};
+
+struct Operand {
+  bool is_literal = false;
+  std::string binding;
+  std::string attribute;
+  Value literal;
+
+  std::string ToString() const;
+};
+
+enum class PredicateKind { kComparison, kCorrelationKey, kAttributeEquals };
+
+struct Predicate {
+  PredicateKind kind = PredicateKind::kComparison;
+  // kComparison: lhs op rhs.
+  Operand lhs, rhs;
+  AttributeComparison::Op op = AttributeComparison::Op::kEq;
+  // kCorrelationKey / kAttributeEquals: the common attribute.
+  std::string attribute;
+  // kAttributeEquals: the required value.
+  Value literal;
+  size_t offset = 0;
+
+  std::string ToString() const;
+};
+
+struct OutputItem {
+  std::string binding;
+  std::string attribute;
+  std::string alias;  // empty: "<binding>_<attribute>"
+};
+
+struct Query {
+  std::string name;
+  std::unique_ptr<Pattern> when;
+  std::vector<Predicate> where;
+  std::vector<OutputItem> output;
+  std::optional<ConsistencySpec> consistency;
+  std::optional<Interval> occurrence_slice;  // @[to1, to2)
+  std::optional<Interval> valid_slice;       // #[tv1, tv2)
+
+  std::string ToString() const;
+};
+
+}  // namespace ast
+}  // namespace cedr
+
+#endif  // CEDR_LANG_AST_H_

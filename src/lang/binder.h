@@ -1,0 +1,34 @@
+// Binder: resolves an AST query against a catalog of event-type schemas,
+// producing a bound logical plan.
+//
+// Responsibilities (Sections 3.1-3.2):
+//   * resolve AS bindings and event types, assigning each positive leaf
+//     a flat payload position;
+//   * type-check attribute references;
+//   * expand CorrelationKey(attr, EQUAL) into pairwise equality tests
+//     and [attr EQUAL literal] into per-leaf constant tests;
+//   * predicate injection: route each WHERE predicate to the pattern
+//     node that can evaluate it - single-leaf predicates become input
+//     filters, multi-leaf positive predicates attach to the least common
+//     ancestor pattern operator, and predicates touching a negated
+//     contributor attach to its negation operator;
+//   * resolve the OUTPUT projection against the composite schema.
+#ifndef CEDR_LANG_BINDER_H_
+#define CEDR_LANG_BINDER_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "plan/logical.h"
+
+namespace cedr {
+
+/// Event type name -> payload schema.
+using Catalog = std::map<std::string, SchemaPtr>;
+
+Result<plan::BoundQuery> Bind(const ast::Query& query, const Catalog& catalog);
+
+}  // namespace cedr
+
+#endif  // CEDR_LANG_BINDER_H_

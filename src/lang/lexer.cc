@@ -1,0 +1,244 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/format.h"
+
+namespace cedr {
+
+bool Token::IsKeyword(const char* kw) const {
+  if (kind != TokenKind::kIdent) return false;
+  const char* a = text.c_str();
+  const char* b = kw;
+  while (*a && *b) {
+    if (std::toupper(static_cast<unsigned char>(*a)) !=
+        std::toupper(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+    ++a;
+    ++b;
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kHash:
+      return "'#'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto make = [&](TokenKind kind, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    return t;
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    bool negative = false;
+    if (c == '-' && i + 1 < n &&
+        std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+      negative = true;
+      ++i;
+      c = text[i];
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '.')) {
+        if (text[j] == '.') {
+          // A second dot or a dot not followed by a digit ends the number
+          // (supports "3.attribute" never occurring: attributes follow
+          // identifiers, not numbers).
+          if (is_float || j + 1 >= n ||
+              !std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+            break;
+          }
+          is_float = true;
+        }
+        ++j;
+      }
+      std::string spelled = text.substr(i, j - i);
+      Token t = make(is_float ? TokenKind::kFloat : TokenKind::kInt, start);
+      t.text = (negative ? "-" : "") + spelled;
+      if (is_float) {
+        t.float_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (negative) {
+      return Status::ParseError(
+          StrCat("stray '-' at offset ", start, " in query"));
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentCont(text[j])) ++j;
+      // Identifiers may not end with '-' (that belongs to what follows).
+      while (j > i + 1 && text[j - 1] == '-') --j;
+      Token t = make(TokenKind::kIdent, start);
+      t.text = text.substr(i, j - i);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && text[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::ParseError(
+            StrCat("unterminated string literal at offset ", start));
+      }
+      Token t = make(TokenKind::kString, start);
+      t.text = text.substr(i + 1, j - i - 1);
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    auto single = [&](TokenKind kind) {
+      tokens.push_back(make(kind, start));
+      ++i;
+    };
+    switch (c) {
+      case '(':
+        single(TokenKind::kLParen);
+        break;
+      case ')':
+        single(TokenKind::kRParen);
+        break;
+      case '{':
+        single(TokenKind::kLBrace);
+        break;
+      case '}':
+        single(TokenKind::kRBrace);
+        break;
+      case '[':
+        single(TokenKind::kLBracket);
+        break;
+      case ']':
+        single(TokenKind::kRBracket);
+        break;
+      case ',':
+        single(TokenKind::kComma);
+        break;
+      case '.':
+        single(TokenKind::kDot);
+        break;
+      case '@':
+        single(TokenKind::kAt);
+        break;
+      case '#':
+        single(TokenKind::kHash);
+        break;
+      case '=':
+        single(TokenKind::kEq);
+        break;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          tokens.push_back(make(TokenKind::kNe, start));
+          i += 2;
+        } else {
+          return Status::ParseError(StrCat("unexpected '!' at offset ", start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          tokens.push_back(make(TokenKind::kLe, start));
+          i += 2;
+        } else {
+          single(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          tokens.push_back(make(TokenKind::kGe, start));
+          i += 2;
+        } else {
+          single(TokenKind::kGt);
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrCat("unexpected character '", std::string(1, c),
+                   "' at offset ", start));
+    }
+  }
+  tokens.push_back(make(TokenKind::kEnd, n));
+  return tokens;
+}
+
+}  // namespace cedr

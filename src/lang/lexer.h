@@ -1,0 +1,18 @@
+// Lexer for the CEDR query language.
+#ifndef CEDR_LANG_LEXER_H_
+#define CEDR_LANG_LEXER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace cedr {
+
+/// Tokenizes a query. Identifiers may contain letters, digits, '_' and
+/// '-' (for CANCEL-WHEN); comments run from "--" to end of line.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace cedr
+
+#endif  // CEDR_LANG_LEXER_H_

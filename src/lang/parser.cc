@@ -1,0 +1,456 @@
+#include "lang/parser.h"
+
+#include <utility>
+
+#include "common/format.h"
+#include "lang/lexer.h"
+
+namespace cedr {
+
+namespace {
+
+using ast::Pattern;
+using ast::PatternKind;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ast::Query> ParseQuery();
+  Result<std::unique_ptr<Pattern>> ParsePatternOnly();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().Is(kind); }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!CheckKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Expect(TokenKind kind, const char* context) {
+    if (Match(kind)) return Status::OK();
+    return Error(StrCat("expected ", TokenKindToString(kind), " ", context,
+                        ", found '", Peek().text.empty()
+                                         ? TokenKindToString(Peek().kind)
+                                         : Peek().text,
+                        "'"));
+  }
+  Status ExpectKeyword(const char* kw, const char* context) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(StrCat("expected ", kw, " ", context));
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StrCat(msg, " (at offset ", Peek().offset, ")"));
+  }
+
+  Result<std::unique_ptr<Pattern>> ParsePattern();
+  Result<std::unique_ptr<Pattern>> ParseContributor();
+  Result<Duration> ParseDuration(const char* context);
+  Result<ast::Predicate> ParsePredicate();
+  Result<ast::Operand> ParseOperand();
+  Result<Value> ParseLiteral();
+  Status ParseBindingAndSc(Pattern* node);
+  Result<ConsistencySpec> ParseConsistency();
+  Result<Interval> ParseSliceInterval();
+  Result<Time> ParseTimePoint();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Duration> Parser::ParseDuration(const char* context) {
+  if (!Check(TokenKind::kInt)) {
+    return Error(StrCat("expected duration ", context));
+  }
+  int64_t amount = Advance().int_value;
+  // 1 tick == 1 second by convention; units scale accordingly.
+  Duration unit = 1;
+  if (CheckKeyword("TICKS") || CheckKeyword("TICK")) {
+    Advance();
+  } else if (CheckKeyword("SECONDS") || CheckKeyword("SECOND")) {
+    Advance();
+  } else if (CheckKeyword("MINUTES") || CheckKeyword("MINUTE")) {
+    Advance();
+    unit = 60;
+  } else if (CheckKeyword("HOURS") || CheckKeyword("HOUR")) {
+    Advance();
+    unit = 3600;
+  } else if (CheckKeyword("DAYS") || CheckKeyword("DAY")) {
+    Advance();
+    unit = 86400;
+  }
+  return amount * unit;
+}
+
+Status Parser::ParseBindingAndSc(Pattern* node) {
+  if (MatchKeyword("AS")) {
+    if (!Check(TokenKind::kIdent)) return Error("expected binding after AS");
+    node->binding = Advance().text;
+  } else if (Check(TokenKind::kIdent) && !CheckKeyword("WITH") &&
+             !CheckKeyword("WHERE") && !CheckKeyword("OUTPUT") &&
+             !CheckKeyword("CONSISTENCY") && !CheckKeyword("AND")) {
+    // Bare binding, as in the paper's "SEQUENCE(INSTALL x, ...)".
+    node->binding = Advance().text;
+  }
+  if (MatchKeyword("WITH")) {
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kLParen, "after WITH"));
+    bool saw = false;
+    do {
+      if (MatchKeyword("EACH")) {
+        node->sc.selection = SelectionMode::kEach;
+      } else if (MatchKeyword("FIRST")) {
+        node->sc.selection = SelectionMode::kFirst;
+      } else if (MatchKeyword("LAST")) {
+        node->sc.selection = SelectionMode::kLast;
+      } else if (MatchKeyword("CONSUME")) {
+        node->sc.consumption = ConsumptionMode::kConsume;
+      } else if (MatchKeyword("REUSE")) {
+        node->sc.consumption = ConsumptionMode::kReuse;
+      } else {
+        return Error("expected EACH/FIRST/LAST/CONSUME/REUSE in WITH (...)");
+      }
+      saw = true;
+    } while (Match(TokenKind::kComma));
+    if (!saw) return Error("empty WITH (...)");
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "after WITH options"));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Pattern>> Parser::ParseContributor() {
+  CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> node, ParsePattern());
+  CEDR_RETURN_NOT_OK(ParseBindingAndSc(node.get()));
+  return node;
+}
+
+Result<std::unique_ptr<Pattern>> Parser::ParsePattern() {
+  auto node = std::make_unique<Pattern>();
+  node->offset = Peek().offset;
+
+  auto parse_contributor_list =
+      [&](bool with_scope, size_t min_children) -> Status {
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kLParen, "to open operator"));
+    while (true) {
+      // A duration terminates the list when a scope is expected.
+      if (with_scope && Check(TokenKind::kInt)) {
+        CEDR_ASSIGN_OR_RETURN(node->scope, ParseDuration("as scope"));
+        node->has_scope = true;
+        break;
+      }
+      CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> child,
+                            ParseContributor());
+      node->children.push_back(std::move(child));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close operator"));
+    if (with_scope && !node->has_scope) {
+      return Error(StrCat(ast::PatternKindToString(node->kind),
+                          " requires a trailing scope"));
+    }
+    if (node->children.size() < min_children) {
+      return Error(StrCat(ast::PatternKindToString(node->kind),
+                          " requires at least ", min_children,
+                          " contributors"));
+    }
+    return Status::OK();
+  };
+
+  if (MatchKeyword("SEQUENCE")) {
+    node->kind = PatternKind::kSequence;
+    CEDR_RETURN_NOT_OK(parse_contributor_list(true, 1));
+    return node;
+  }
+  if (MatchKeyword("ALL")) {
+    node->kind = PatternKind::kAll;
+    CEDR_RETURN_NOT_OK(parse_contributor_list(true, 1));
+    return node;
+  }
+  if (MatchKeyword("ANY")) {
+    node->kind = PatternKind::kAny;
+    CEDR_RETURN_NOT_OK(parse_contributor_list(false, 1));
+    return node;
+  }
+  if (MatchKeyword("ATLEAST") || MatchKeyword("ATMOST")) {
+    node->kind = tokens_[pos_ - 1].IsKeyword("ATLEAST") ? PatternKind::kAtLeast
+                                                        : PatternKind::kAtMost;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kLParen, "to open operator"));
+    if (!Check(TokenKind::kInt)) return Error("expected count n");
+    node->count = Advance().int_value;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kComma, "after count"));
+    while (true) {
+      if (Check(TokenKind::kInt)) {
+        CEDR_ASSIGN_OR_RETURN(node->scope, ParseDuration("as scope"));
+        node->has_scope = true;
+        break;
+      }
+      CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> child,
+                            ParseContributor());
+      node->children.push_back(std::move(child));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close operator"));
+    if (!node->has_scope) return Error("ATLEAST/ATMOST requires a scope");
+    if (node->children.empty()) return Error("expected contributors");
+    return node;
+  }
+  if (MatchKeyword("UNLESS")) {
+    node->kind = PatternKind::kUnless;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kLParen, "to open UNLESS"));
+    CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> positive,
+                          ParseContributor());
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kComma, "after UNLESS positive arm"));
+    CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> negated,
+                          ParseContributor());
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kComma, "after UNLESS negated arm"));
+    // Either "w" (UNLESS) or "n, w" (the UNLESS' variant: the negation
+    // scope anchored at the n-th contributor).
+    CEDR_ASSIGN_OR_RETURN(Duration first, ParseDuration("as negation scope"));
+    if (Match(TokenKind::kComma)) {
+      node->count = first;  // it was n
+      CEDR_ASSIGN_OR_RETURN(node->scope, ParseDuration("as negation scope"));
+      if (node->count < 1) return Error("UNLESS' anchor index must be >= 1");
+    } else {
+      node->scope = first;
+    }
+    node->has_scope = true;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close UNLESS"));
+    node->children.push_back(std::move(positive));
+    node->children.push_back(std::move(negated));
+    return node;
+  }
+  if (MatchKeyword("NOT")) {
+    node->kind = PatternKind::kNot;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kLParen, "to open NOT"));
+    CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> negated,
+                          ParseContributor());
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kComma, "after NOT negated arm"));
+    CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> sequence, ParsePattern());
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close NOT"));
+    if (sequence->kind != PatternKind::kSequence) {
+      return Error("the scope of NOT must be a SEQUENCE");
+    }
+    node->children.push_back(std::move(negated));
+    node->children.push_back(std::move(sequence));
+    return node;
+  }
+  if (MatchKeyword("CANCEL-WHEN") || MatchKeyword("CANCELWHEN")) {
+    node->kind = PatternKind::kCancelWhen;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kLParen, "to open CANCEL-WHEN"));
+    CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> positive,
+                          ParseContributor());
+    CEDR_RETURN_NOT_OK(
+        Expect(TokenKind::kComma, "after CANCEL-WHEN positive arm"));
+    CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> canceling,
+                          ParseContributor());
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close CANCEL-WHEN"));
+    node->children.push_back(std::move(positive));
+    node->children.push_back(std::move(canceling));
+    return node;
+  }
+  if (Check(TokenKind::kIdent)) {
+    node->kind = PatternKind::kEventType;
+    node->event_type = Advance().text;
+    return node;
+  }
+  return Error("expected a pattern expression");
+}
+
+Result<Value> Parser::ParseLiteral() {
+  if (Check(TokenKind::kInt)) return Value(Advance().int_value);
+  if (Check(TokenKind::kFloat)) return Value(Advance().float_value);
+  if (Check(TokenKind::kString)) return Value(Advance().text);
+  if (MatchKeyword("TRUE")) return Value(true);
+  if (MatchKeyword("FALSE")) return Value(false);
+  return Error("expected a literal");
+}
+
+Result<ast::Operand> Parser::ParseOperand() {
+  ast::Operand operand;
+  if (Check(TokenKind::kIdent) && !Peek().IsKeyword("TRUE") &&
+      !Peek().IsKeyword("FALSE")) {
+    operand.binding = Advance().text;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kDot, "in attribute reference"));
+    if (!Check(TokenKind::kIdent)) return Error("expected attribute name");
+    operand.attribute = Advance().text;
+    return operand;
+  }
+  operand.is_literal = true;
+  CEDR_ASSIGN_OR_RETURN(operand.literal, ParseLiteral());
+  return operand;
+}
+
+Result<ast::Predicate> Parser::ParsePredicate() {
+  ast::Predicate pred;
+  pred.offset = Peek().offset;
+  if (Match(TokenKind::kLBrace)) {
+    pred.kind = ast::PredicateKind::kComparison;
+    CEDR_ASSIGN_OR_RETURN(pred.lhs, ParseOperand());
+    if (Match(TokenKind::kEq)) {
+      pred.op = AttributeComparison::Op::kEq;
+    } else if (Match(TokenKind::kNe)) {
+      pred.op = AttributeComparison::Op::kNe;
+    } else if (Match(TokenKind::kLe)) {
+      pred.op = AttributeComparison::Op::kLe;
+    } else if (Match(TokenKind::kLt)) {
+      pred.op = AttributeComparison::Op::kLt;
+    } else if (Match(TokenKind::kGe)) {
+      pred.op = AttributeComparison::Op::kGe;
+    } else if (Match(TokenKind::kGt)) {
+      pred.op = AttributeComparison::Op::kGt;
+    } else {
+      return Error("expected a comparison operator");
+    }
+    CEDR_ASSIGN_OR_RETURN(pred.rhs, ParseOperand());
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "to close predicate"));
+    return pred;
+  }
+  if (MatchKeyword("CorrelationKey")) {
+    pred.kind = ast::PredicateKind::kCorrelationKey;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kLParen, "after CorrelationKey"));
+    if (!Check(TokenKind::kIdent)) return Error("expected attribute name");
+    pred.attribute = Advance().text;
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kComma, "in CorrelationKey"));
+    CEDR_RETURN_NOT_OK(ExpectKeyword("EQUAL", "in CorrelationKey"));
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close CorrelationKey"));
+    return pred;
+  }
+  if (Match(TokenKind::kLBracket)) {
+    pred.kind = ast::PredicateKind::kAttributeEquals;
+    if (!Check(TokenKind::kIdent)) return Error("expected attribute name");
+    pred.attribute = Advance().text;
+    CEDR_RETURN_NOT_OK(ExpectKeyword("EQUAL", "in [attr EQUAL literal]"));
+    CEDR_ASSIGN_OR_RETURN(pred.literal, ParseLiteral());
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "to close predicate"));
+    return pred;
+  }
+  return Error("expected a WHERE predicate");
+}
+
+Result<ConsistencySpec> Parser::ParseConsistency() {
+  if (MatchKeyword("STRONG")) return ConsistencySpec::Strong();
+  if (MatchKeyword("MIDDLE")) return ConsistencySpec::Middle();
+  if (MatchKeyword("WEAK")) {
+    Duration memory = 0;
+    if (Match(TokenKind::kLParen)) {
+      CEDR_ASSIGN_OR_RETURN(memory, ParseDuration("as WEAK memory"));
+      CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close WEAK"));
+    }
+    return ConsistencySpec::Weak(memory);
+  }
+  if (MatchKeyword("CUSTOM")) {
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kLParen, "after CUSTOM"));
+    Duration blocking = 0;
+    if (MatchKeyword("INF")) {
+      blocking = kInfinity;
+    } else {
+      CEDR_ASSIGN_OR_RETURN(blocking, ParseDuration("as blocking B"));
+    }
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kComma, "in CUSTOM"));
+    Duration memory = 0;
+    if (MatchKeyword("INF")) {
+      memory = kInfinity;
+    } else {
+      CEDR_ASSIGN_OR_RETURN(memory, ParseDuration("as memory M"));
+    }
+    CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close CUSTOM"));
+    return ConsistencySpec::Custom(blocking, memory);
+  }
+  return Error("expected STRONG, MIDDLE, WEAK or CUSTOM");
+}
+
+Result<Time> Parser::ParseTimePoint() {
+  if (MatchKeyword("INF")) return kInfinity;
+  if (Check(TokenKind::kInt)) return Advance().int_value;
+  return Error("expected a time point or INF");
+}
+
+Result<Interval> Parser::ParseSliceInterval() {
+  CEDR_RETURN_NOT_OK(Expect(TokenKind::kLBracket, "to open slice"));
+  Interval iv;
+  CEDR_ASSIGN_OR_RETURN(iv.start, ParseTimePoint());
+  CEDR_RETURN_NOT_OK(Expect(TokenKind::kComma, "in slice"));
+  CEDR_ASSIGN_OR_RETURN(iv.end, ParseTimePoint());
+  CEDR_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close slice"));
+  return iv;
+}
+
+Result<ast::Query> Parser::ParseQuery() {
+  ast::Query query;
+  CEDR_RETURN_NOT_OK(ExpectKeyword("EVENT", "to start query"));
+  if (!Check(TokenKind::kIdent)) return Error("expected query name");
+  query.name = Advance().text;
+  CEDR_RETURN_NOT_OK(ExpectKeyword("WHEN", "after query name"));
+  CEDR_ASSIGN_OR_RETURN(query.when, ParseContributor());
+
+  if (MatchKeyword("WHERE")) {
+    do {
+      CEDR_ASSIGN_OR_RETURN(ast::Predicate pred, ParsePredicate());
+      query.where.push_back(std::move(pred));
+    } while (MatchKeyword("AND"));
+  }
+  if (MatchKeyword("OUTPUT")) {
+    do {
+      ast::OutputItem item;
+      if (!Check(TokenKind::kIdent)) return Error("expected OUTPUT binding");
+      item.binding = Advance().text;
+      CEDR_RETURN_NOT_OK(Expect(TokenKind::kDot, "in OUTPUT item"));
+      if (!Check(TokenKind::kIdent)) return Error("expected attribute");
+      item.attribute = Advance().text;
+      if (MatchKeyword("AS")) {
+        if (!Check(TokenKind::kIdent)) return Error("expected alias");
+        item.alias = Advance().text;
+      }
+      query.output.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+  }
+  if (MatchKeyword("CONSISTENCY")) {
+    CEDR_ASSIGN_OR_RETURN(ConsistencySpec spec, ParseConsistency());
+    query.consistency = spec;
+  }
+  while (Check(TokenKind::kAt) || Check(TokenKind::kHash)) {
+    bool occurrence = Check(TokenKind::kAt);
+    Advance();
+    CEDR_ASSIGN_OR_RETURN(Interval iv, ParseSliceInterval());
+    if (occurrence) {
+      query.occurrence_slice = iv;
+    } else {
+      query.valid_slice = iv;
+    }
+  }
+  if (!Check(TokenKind::kEnd)) {
+    return Error(StrCat("unexpected trailing input '", Peek().text, "'"));
+  }
+  return query;
+}
+
+Result<std::unique_ptr<Pattern>> Parser::ParsePatternOnly() {
+  CEDR_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> node, ParseContributor());
+  if (!Check(TokenKind::kEnd)) {
+    return Error("unexpected trailing input after pattern");
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<ast::Query> ParseQuery(const std::string& text) {
+  CEDR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<std::unique_ptr<ast::Pattern>> ParsePattern(const std::string& text) {
+  CEDR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParsePatternOnly();
+}
+
+}  // namespace cedr

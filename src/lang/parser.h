@@ -1,0 +1,18 @@
+// Recursive-descent parser for the CEDR query language.
+#ifndef CEDR_LANG_PARSER_H_
+#define CEDR_LANG_PARSER_H_
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace cedr {
+
+/// Parses a complete EVENT query.
+Result<ast::Query> ParseQuery(const std::string& text);
+
+/// Parses just a pattern expression (useful for tests and the plan API).
+Result<std::unique_ptr<ast::Pattern>> ParsePattern(const std::string& text);
+
+}  // namespace cedr
+
+#endif  // CEDR_LANG_PARSER_H_

@@ -1,0 +1,49 @@
+// Tokens of the CEDR query language (Section 3.1).
+#ifndef CEDR_LANG_TOKEN_H_
+#define CEDR_LANG_TOKEN_H_
+
+#include <string>
+
+namespace cedr {
+
+enum class TokenKind {
+  kEnd = 0,
+  kIdent,      // event types, bindings, attribute names, keywords
+  kInt,
+  kFloat,
+  kString,     // 'single quoted'
+  kLParen,
+  kRParen,
+  kLBrace,     // {
+  kRBrace,     // }
+  kLBracket,   // [
+  kRBracket,   // ]
+  kComma,
+  kDot,
+  kAt,         // @  (occurrence-time slice)
+  kHash,       // #  (valid-time slice)
+  kEq,         // =
+  kNe,         // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier / literal spelling
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;     // byte offset in the query text, for diagnostics
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// Case-insensitive keyword test for identifiers.
+  bool IsKeyword(const char* kw) const;
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+}  // namespace cedr
+
+#endif  // CEDR_LANG_TOKEN_H_

@@ -1,0 +1,77 @@
+#include "ops/aggregate.h"
+
+namespace cedr {
+
+const char* AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+Result<Value> ComputeAggregate(AggregateKind kind,
+                               const std::vector<Value>& values) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return Value(static_cast<int64_t>(values.size()));
+    case AggregateKind::kSum: {
+      Value acc(static_cast<int64_t>(0));
+      for (const Value& v : values) {
+        CEDR_ASSIGN_OR_RETURN(acc, ValueAdd(acc, v));
+      }
+      return acc;
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      if (values.empty()) {
+        return Status::InvalidArgument("min/max of empty group");
+      }
+      Value best = values[0];
+      for (size_t i = 1; i < values.size(); ++i) {
+        CEDR_ASSIGN_OR_RETURN(int cmp, values[i].Compare(best));
+        if ((kind == AggregateKind::kMin && cmp < 0) ||
+            (kind == AggregateKind::kMax && cmp > 0)) {
+          best = values[i];
+        }
+      }
+      return best;
+    }
+    case AggregateKind::kAvg: {
+      if (values.empty()) {
+        return Status::InvalidArgument("avg of empty group");
+      }
+      double sum = 0;
+      for (const Value& v : values) {
+        CEDR_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        sum += d;
+      }
+      return Value(sum / static_cast<double>(values.size()));
+    }
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+ValueType AggregateOutputType(AggregateKind kind, ValueType input) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return ValueType::kInt64;
+    case AggregateKind::kAvg:
+      return ValueType::kDouble;
+    case AggregateKind::kSum:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return input;
+  }
+  return ValueType::kNull;
+}
+
+}  // namespace cedr

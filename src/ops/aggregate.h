@@ -1,0 +1,38 @@
+// Aggregate functions shared by the denotational group-by (Section 6,
+// "union, difference, groupby, and aggregates such as max, min, and avg")
+// and the incremental runtime operator.
+#ifndef CEDR_OPS_AGGREGATE_H_
+#define CEDR_OPS_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/row.h"
+
+namespace cedr {
+
+enum class AggregateKind { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggregateKindToString(AggregateKind kind);
+
+/// One aggregate column of a group-by: which function over which input
+/// field (ignored for kCount), under which output name.
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kCount;
+  std::string input_field;
+  std::string output_name;
+};
+
+/// Folds an aggregate over the given values (the snapshot of a group).
+/// Count tolerates any types; the rest require numerics. Min/Max/Avg of
+/// an empty set is an error; Count/Sum of an empty set is 0.
+Result<Value> ComputeAggregate(AggregateKind kind,
+                               const std::vector<Value>& values);
+
+/// The result type of an aggregate over inputs of the given type.
+ValueType AggregateOutputType(AggregateKind kind, ValueType input);
+
+}  // namespace cedr
+
+#endif  // CEDR_OPS_AGGREGATE_H_

@@ -1,0 +1,103 @@
+#include "ops/alignment_buffer.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+AlignmentBuffer::AlignmentBuffer(Duration max_blocking)
+    : max_blocking_(max_blocking) {}
+
+Time AlignmentBuffer::Frontier() const {
+  Time frontier = guarantee_;
+  if (max_blocking_ != kInfinity && watermark_ != kMinTime) {
+    frontier = std::max(frontier, TimeSub(watermark_, max_blocking_));
+  }
+  return frontier;
+}
+
+void AlignmentBuffer::Offer(const Message& msg, Time now_cs,
+                            std::vector<Message>* released) {
+  switch (msg.kind) {
+    case MessageKind::kCti: {
+      guarantee_ = std::max(guarantee_, msg.time);
+      watermark_ = std::max(watermark_, msg.time);
+      ReleaseUpTo(Frontier(), now_cs, released);
+      released->push_back(msg);  // sound: everything covered was released
+      return;
+    }
+    case MessageKind::kRetract: {
+      // Merge with a still-buffered insert when possible: the lifetime is
+      // corrected before anyone downstream ever saw the optimistic value.
+      auto it = insert_index_.find(msg.event.id);
+      if (it != insert_index_.end()) {
+        auto held_it = buffered_.find(it->second);
+        if (held_it != buffered_.end()) {
+          Event& held_event = held_it->second.msg.event;
+          held_event.ve = std::min(held_event.ve, msg.new_ve);
+          ++stats_.merged_retractions;
+          if (held_event.valid().empty()) {
+            ++stats_.annihilated_inserts;
+            buffered_.erase(held_it);
+            insert_index_.erase(it);
+          }
+          watermark_ = std::max(watermark_, msg.SyncTime());
+          ReleaseUpTo(Frontier(), now_cs, released);
+          return;
+        }
+        insert_index_.erase(it);
+      }
+      break;
+    }
+    case MessageKind::kInsert:
+      break;
+  }
+
+  watermark_ = std::max(watermark_, msg.SyncTime());
+  ReleaseUpTo(Frontier(), now_cs, released);
+
+  if (pass_through() || msg.SyncTime() <= Frontier()) {
+    // Either alignment is disabled, or the message is already behind the
+    // frontier (disorder beyond B): pass it on for optimistic repair.
+    released->push_back(msg);
+    return;
+  }
+
+  Held held{msg, now_cs, next_seq_++};
+  auto key = std::make_pair(msg.SyncTime(), held.seq);
+  if (msg.kind == MessageKind::kInsert) {
+    insert_index_[msg.event.id] = key;
+  }
+  buffered_.emplace(key, std::move(held));
+  stats_.max_size = std::max(stats_.max_size, buffered_.size());
+}
+
+void AlignmentBuffer::ReleaseUpTo(Time frontier, Time now_cs,
+                                  std::vector<Message>* released) {
+  while (!buffered_.empty() && buffered_.begin()->first.first <= frontier) {
+    Held held = std::move(buffered_.begin()->second);
+    buffered_.erase(buffered_.begin());
+    Release(std::move(held), now_cs, released);
+  }
+}
+
+void AlignmentBuffer::Release(Held held, Time now_cs,
+                              std::vector<Message>* released) {
+  if (held.msg.kind == MessageKind::kInsert) {
+    insert_index_.erase(held.msg.event.id);
+  }
+  Time blocked = std::max<Time>(0, now_cs - held.arrival_cs);
+  stats_.total_blocking_cs += blocked;
+  stats_.max_blocking_cs = std::max(stats_.max_blocking_cs, blocked);
+  ++stats_.released;
+  released->push_back(std::move(held.msg));
+}
+
+void AlignmentBuffer::Drain(Time now_cs, std::vector<Message>* released) {
+  while (!buffered_.empty()) {
+    Held held = std::move(buffered_.begin()->second);
+    buffered_.erase(buffered_.begin());
+    Release(std::move(held), now_cs, released);
+  }
+}
+
+}  // namespace cedr

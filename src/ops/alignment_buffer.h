@@ -1,0 +1,82 @@
+// Alignment buffer (Figure 7): holds out-of-order input back so that the
+// operational module sees a (more) ordered stream.
+//
+// A message with sync time s is releasable once the release frontier
+//   f = max(port guarantee, port watermark - B)
+// reaches s (with B = kInfinity the frontier is the guarantee alone, the
+// strong-consistency discipline; with B = 0 everything passes through
+// immediately). Messages are released in sync order. While buffered,
+// retractions are merged into their buffered insert (the mechanism by
+// which blocking shrinks output size, Figure 8): the insert's lifetime is
+// simply corrected in place and the retraction disappears.
+#ifndef CEDR_OPS_ALIGNMENT_BUFFER_H_
+#define CEDR_OPS_ALIGNMENT_BUFFER_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "consistency/spec.h"
+#include "stream/message.h"
+
+namespace cedr {
+
+struct AlignmentStats {
+  uint64_t merged_retractions = 0;  // retractions absorbed in the buffer
+  uint64_t annihilated_inserts = 0; // inserts fully erased before release
+  size_t max_size = 0;
+  Time total_blocking_cs = 0;       // sum over released messages
+  Time max_blocking_cs = 0;
+  uint64_t released = 0;
+};
+
+class AlignmentBuffer {
+ public:
+  /// `max_blocking` is the effective B of the operator's spec.
+  explicit AlignmentBuffer(Duration max_blocking);
+
+  /// Offers a message; appends any releasable messages (in sync order) to
+  /// `released`. CTIs advance the frontier and are themselves released
+  /// after the messages they cover. `now_cs` is the CEDR arrival time.
+  void Offer(const Message& msg, Time now_cs, std::vector<Message>* released);
+
+  /// Releases everything still buffered (end of stream).
+  void Drain(Time now_cs, std::vector<Message>* released);
+
+  size_t size() const { return buffered_.size(); }
+  bool pass_through() const { return max_blocking_ == 0; }
+
+  Time guarantee() const { return guarantee_; }
+  Time watermark() const { return watermark_; }
+  /// The release frontier f described above.
+  Time Frontier() const;
+
+  const AlignmentStats& stats() const { return stats_; }
+
+ private:
+  struct Held {
+    Message msg;
+    Time arrival_cs;
+    uint64_t seq;  // tie-break for equal sync times: arrival order
+  };
+
+  void ReleaseUpTo(Time frontier, Time now_cs, std::vector<Message>* released);
+  void Release(Held held, Time now_cs, std::vector<Message>* released);
+
+  Duration max_blocking_;
+  Time guarantee_ = kMinTime;
+  Time watermark_ = kMinTime;
+  uint64_t next_seq_ = 0;
+
+  // Buffered messages keyed by (sync, seq). For inserts we also index by
+  // event id so retractions can merge in place.
+  std::map<std::pair<Time, uint64_t>, Held> buffered_;
+  std::unordered_map<EventId, std::pair<Time, uint64_t>> insert_index_;
+
+  AlignmentStats stats_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_OPS_ALIGNMENT_BUFFER_H_

@@ -1,0 +1,114 @@
+#include "ops/difference.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+DifferenceOp::DifferenceOp(ConsistencySpec spec, std::string name)
+    : Operator(std::move(name), spec, /*num_inputs=*/2) {
+  conservative_ = this->spec().max_blocking == kInfinity;
+}
+
+Status DifferenceOp::ProcessCti(Time t, int port) {
+  if (conservative_) {
+    // The ceiling advanced: release newly-final output regions.
+    std::vector<Row> payloads;
+    payloads.reserve(state_.size());
+    for (const auto& [payload, ps] : state_) payloads.push_back(payload);
+    for (const Row& payload : payloads) {
+      CEDR_RETURN_NOT_OK(Recompute(payload));
+    }
+  }
+  return Operator::ProcessCti(t, port);
+}
+
+size_t DifferenceOp::StateSize() const {
+  size_t n = output_.StateSize();
+  for (const auto& [payload, ps] : state_) {
+    n += ps.left.size() + ps.right.size();
+  }
+  return n;
+}
+
+Status DifferenceOp::ProcessInsert(const Event& e, int port) {
+  if (e.valid().empty()) return Status::OK();
+  PayloadState& ps = state_[e.payload];
+  (port == 0 ? ps.left : ps.right)[e.id] = e.valid();
+  return Recompute(e.payload);
+}
+
+Status DifferenceOp::ProcessRetract(const Event& e, Time new_ve, int port) {
+  auto it = state_.find(e.payload);
+  if (it == state_.end()) {
+    CountLostCorrection();
+    return Status::OK();
+  }
+  auto& side = port == 0 ? it->second.left : it->second.right;
+  auto eit = side.find(e.id);
+  if (eit == side.end()) {
+    CountLostCorrection();
+    return Status::OK();
+  }
+  if (new_ve >= eit->second.end) return Status::OK();
+  eit->second.end = new_ve;
+  if (eit->second.empty()) side.erase(eit);
+  return Recompute(e.payload);
+}
+
+Status DifferenceOp::Recompute(const Row& payload) {
+  auto it = state_.find(payload);
+  IntervalSet result;
+  if (it != state_.end()) {
+    for (const auto& [id, iv] : it->second.left) result.Add(iv);
+    for (const auto& [id, iv] : it->second.right) result.Subtract(iv);
+  }
+  if (conservative_) {
+    // Strong consistency: output beyond the guarantee is provisional
+    // (a future right-side insert could shrink it); withhold it.
+    Time ceiling = input_guarantee();
+    result.Subtract(Interval{ceiling, kInfinity});
+  }
+  std::vector<Event> correct;
+  for (const Interval& iv : result.intervals()) {
+    Event e;
+    e.vs = iv.start;
+    e.ve = iv.end;
+    e.payload = payload;
+    correct.push_back(std::move(e));
+  }
+  // Output before the previous guarantee is final; weak consistency
+  // additionally freezes anything beyond its memory.
+  Time frontier = frontier_;
+  if (spec().max_memory != kInfinity && watermark() != kMinTime) {
+    frontier = std::max(frontier, TimeSub(watermark(), spec().max_memory));
+  }
+  output_.Reconcile(payload.values(), correct, frontier,
+                    [this](Event e) { EmitInsert(std::move(e)); },
+                    [this](const Event& e, Time t) { EmitRetract(e, t); });
+  return Status::OK();
+}
+
+void DifferenceOp::TrimState(Time horizon) {
+  frontier_ = std::max(frontier_, input_guarantee());
+  output_.Trim(horizon);
+  for (auto it = state_.begin(); it != state_.end();) {
+    auto trim_side = [horizon](std::map<EventId, Interval>* side) {
+      for (auto sit = side->begin(); sit != side->end();) {
+        if (sit->second.end <= horizon) {
+          sit = side->erase(sit);
+        } else {
+          ++sit;
+        }
+      }
+    };
+    trim_side(&it->second.left);
+    trim_side(&it->second.right);
+    if (it->second.left.empty() && it->second.right.empty()) {
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cedr

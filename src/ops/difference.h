@@ -1,0 +1,49 @@
+// Temporal difference with view update (set) semantics: at every
+// instant, the output relation is the left relation minus the right
+// relation (payload equality). Incremental form: both sides' live events
+// are stored per payload; any change recomputes the affected payload's
+// fragment set and repairs the previously emitted output through
+// RepairableOutput (retract / remove-and-reinsert / insert).
+#ifndef CEDR_OPS_DIFFERENCE_H_
+#define CEDR_OPS_DIFFERENCE_H_
+
+#include <map>
+
+#include "consistency/retraction.h"
+#include "ops/operator.h"
+#include "stream/coalesce.h"
+
+namespace cedr {
+
+class DifferenceOp : public Operator {
+ public:
+  explicit DifferenceOp(ConsistencySpec spec, std::string name = "difference");
+
+  size_t StateSize() const override;
+
+ protected:
+  Status ProcessInsert(const Event& e, int port) override;
+  Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+  Status ProcessCti(Time t, int port) override;
+  void TrimState(Time horizon) override;
+
+ private:
+  Status Recompute(const Row& payload);
+
+  struct PayloadState {
+    // Live input events contributing this payload, per side, by id.
+    std::map<EventId, Interval> left;
+    std::map<EventId, Interval> right;
+  };
+
+  std::map<Row, PayloadState> state_;
+  RepairableOutput output_;
+  /// Output already emitted at times < frontier_ is final (last CTI).
+  Time frontier_ = kMinTime;
+  /// Strong consistency withholds output beyond the input guarantee.
+  bool conservative_ = false;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_OPS_DIFFERENCE_H_

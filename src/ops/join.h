@@ -1,0 +1,63 @@
+// Temporal join (Definition 9): output payloads are concatenations of
+// input payloads whose lifetimes overlap; the output lifetime is the
+// intersection. View update compliant and well behaved.
+//
+// Incremental form: symmetric join. Each side stores its live events
+// (bounded by the repair horizon); an insert probes the other side; an
+// input retraction shrinks the stored lifetime and emits retractions for
+// every affected output. An optional equality key accelerates probing.
+#ifndef CEDR_OPS_JOIN_H_
+#define CEDR_OPS_JOIN_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "ops/operator.h"
+
+namespace cedr {
+
+using JoinPredicate = std::function<bool(const Row&, const Row&)>;
+/// Optional hash key extractor per side; when both are provided, only
+/// events with equal keys are probed (equi-join acceleration).
+using KeyExtractor = std::function<Value(const Row&)>;
+
+class JoinOp : public Operator {
+ public:
+  JoinOp(JoinPredicate theta, SchemaPtr output_schema, ConsistencySpec spec,
+         std::string name = "join");
+
+  /// Enables hash partitioning on an equality key.
+  void SetEquiKeys(KeyExtractor left, KeyExtractor right);
+
+  size_t StateSize() const override;
+
+ protected:
+  Status ProcessInsert(const Event& e, int port) override;
+  Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+  void TrimState(Time horizon) override;
+
+ private:
+  /// The join output of stored events l (left) and r (right), with the
+  /// given lifetimes; empty optional when lifetimes do not intersect or
+  /// theta fails.
+  Event MakeOutput(const Event& l, const Event& r, Time ve_l, Time ve_r) const;
+
+  struct Side {
+    // id -> live event (current, possibly already shrunk, lifetime).
+    std::unordered_map<EventId, Event> events;
+    // hash bucket -> ids, when equi keys are enabled.
+    std::unordered_map<Value, std::vector<EventId>> buckets;
+    KeyExtractor key;
+  };
+
+  void Store(Side* side, const Event& e);
+
+  JoinPredicate theta_;
+  SchemaPtr output_schema_;
+  Side sides_[2];
+  bool equi_ = false;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_OPS_JOIN_H_

@@ -1,0 +1,133 @@
+#include "ops/operator.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace cedr {
+
+std::string OperatorStats::ToString() const {
+  return StrCat(name, ": in(i=", in_inserts, " r=", in_retracts,
+                " c=", in_ctis, ") out(i=", out_inserts, " r=", out_retracts,
+                " c=", out_ctis, ") lost=", lost_corrections,
+                " max_state=", max_state_size,
+                " max_buffer=", alignment.max_size,
+                " blocking(total=", alignment.total_blocking_cs,
+                " max=", alignment.max_blocking_cs, ")");
+}
+
+Operator::Operator(std::string name, ConsistencySpec spec, int num_inputs)
+    : name_(std::move(name)), monitor_(spec, num_inputs) {
+  stats_.name = name_;
+}
+
+void Operator::ConnectTo(Operator* downstream, int port) {
+  downstream_ = downstream;
+  downstream_port_ = port;
+}
+
+Status Operator::Push(int port, const Message& msg) {
+  if (!first_error_.ok()) return first_error_;
+  now_cs_ = std::max(now_cs_, msg.cs);
+  switch (msg.kind) {
+    case MessageKind::kInsert:
+      ++stats_.in_inserts;
+      break;
+    case MessageKind::kRetract:
+      ++stats_.in_retracts;
+      break;
+    case MessageKind::kCti:
+      ++stats_.in_ctis;
+      break;
+  }
+  std::vector<Message> released = monitor_.Offer(port, msg, now_cs_);
+  for (const Message& m : released) {
+    CEDR_RETURN_NOT_OK(Dispatch(m, port));
+  }
+  AfterBatch();
+  return Status::OK();
+}
+
+Status Operator::PushAll(int port, const std::vector<Message>& msgs) {
+  for (const Message& m : msgs) {
+    CEDR_RETURN_NOT_OK(Push(port, m));
+  }
+  return Status::OK();
+}
+
+Status Operator::Drain() {
+  if (!first_error_.ok()) return first_error_;
+  for (int port = 0; port < monitor_.num_ports(); ++port) {
+    std::vector<Message> released = monitor_.Drain(port, now_cs_);
+    for (const Message& m : released) {
+      CEDR_RETURN_NOT_OK(Dispatch(m, port));
+    }
+  }
+  AfterBatch();
+  return Status::OK();
+}
+
+Status Operator::Dispatch(const Message& msg, int port) {
+  monitor_.NoteDispatch(port, msg);
+  switch (msg.kind) {
+    case MessageKind::kInsert:
+      return ProcessInsert(msg.event, port);
+    case MessageKind::kRetract:
+      return ProcessRetract(msg.event, msg.new_ve, port);
+    case MessageKind::kCti:
+      return ProcessCti(msg.time, port);
+  }
+  return Status::Internal("unknown message kind");
+}
+
+void Operator::AfterBatch() {
+  TrimState(monitor_.RepairHorizon());
+  stats_.max_state_size = std::max(stats_.max_state_size, StateSize());
+}
+
+Status Operator::ProcessCti(Time /*t*/, int /*port*/) {
+  EmitCti(OutputGuarantee(monitor_.InputGuarantee()));
+  return Status::OK();
+}
+
+void Operator::TrimState(Time /*horizon*/) {}
+
+void Operator::EmitInsert(Event e) {
+  if (e.valid().empty()) return;
+  ++stats_.out_inserts;
+  if (downstream_ != nullptr) {
+    Message m = InsertOf(std::move(e), now_cs_);
+    Status st = downstream_->Push(downstream_port_, m);
+    if (!st.ok() && first_error_.ok()) first_error_ = st;
+  }
+}
+
+void Operator::EmitRetract(const Event& out_event, Time new_ve) {
+  Time clamped = std::max(new_ve, out_event.vs);
+  if (clamped >= out_event.ve) return;  // no-op correction
+  ++stats_.out_retracts;
+  if (downstream_ != nullptr) {
+    Status st = downstream_->Push(downstream_port_,
+                                  RetractOf(out_event, clamped, now_cs_));
+    if (!st.ok() && first_error_.ok()) first_error_ = st;
+  }
+}
+
+void Operator::EmitCti(Time t) {
+  if (t == kMinTime || t <= last_emitted_cti_) return;
+  last_emitted_cti_ = t;
+  ++stats_.out_ctis;
+  if (downstream_ != nullptr) {
+    Status st = downstream_->Push(downstream_port_, CtiOf(t, now_cs_));
+    if (!st.ok() && first_error_.ok()) first_error_ = st;
+  }
+}
+
+OperatorStats Operator::stats() const {
+  OperatorStats out = stats_;
+  out.alignment = monitor_.CombinedBufferStats();
+  out.max_state_size = std::max(out.max_state_size, StateSize());
+  return out;
+}
+
+}  // namespace cedr

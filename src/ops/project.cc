@@ -1,0 +1,26 @@
+#include "ops/project.h"
+
+namespace cedr {
+
+ProjectOp::ProjectOp(RowTransform transform, ConsistencySpec spec,
+                     std::string name)
+    : Operator(std::move(name), spec, /*num_inputs=*/1),
+      transform_(std::move(transform)) {}
+
+Event ProjectOp::Apply(const Event& e) const {
+  Event out = e;
+  out.payload = transform_(e.payload);
+  return out;
+}
+
+Status ProjectOp::ProcessInsert(const Event& e, int /*port*/) {
+  EmitInsert(Apply(e));
+  return Status::OK();
+}
+
+Status ProjectOp::ProcessRetract(const Event& e, Time new_ve, int /*port*/) {
+  EmitRetract(Apply(e), new_ve);
+  return Status::OK();
+}
+
+}  // namespace cedr

@@ -1,0 +1,32 @@
+// SQL projection (Definition 7): stateless payload transform; timestamps
+// untouched. The transform must be pure so a retraction can recompute the
+// projected payload it originally emitted.
+#ifndef CEDR_OPS_PROJECT_H_
+#define CEDR_OPS_PROJECT_H_
+
+#include <functional>
+
+#include "ops/operator.h"
+
+namespace cedr {
+
+using RowTransform = std::function<Row(const Row&)>;
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(RowTransform transform, ConsistencySpec spec,
+            std::string name = "project");
+
+ protected:
+  Status ProcessInsert(const Event& e, int port) override;
+  Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+
+ private:
+  Event Apply(const Event& e) const;
+
+  RowTransform transform_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_OPS_PROJECT_H_

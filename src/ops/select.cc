@@ -1,0 +1,21 @@
+#include "ops/select.h"
+
+namespace cedr {
+
+SelectOp::SelectOp(RowPredicate predicate, ConsistencySpec spec,
+                   std::string name)
+    : Operator(std::move(name), spec, /*num_inputs=*/1),
+      predicate_(std::move(predicate)) {}
+
+Status SelectOp::ProcessInsert(const Event& e, int /*port*/) {
+  if (predicate_(e.payload)) EmitInsert(e);
+  return Status::OK();
+}
+
+Status SelectOp::ProcessRetract(const Event& e, Time new_ve, int /*port*/) {
+  // The retraction matters downstream only if the insert passed.
+  if (predicate_(e.payload)) EmitRetract(e, new_ve);
+  return Status::OK();
+}
+
+}  // namespace cedr

@@ -1,0 +1,29 @@
+// Selection (Definition 8): stateless filter over payloads. View update
+// compliant and well behaved at every consistency level.
+#ifndef CEDR_OPS_SELECT_H_
+#define CEDR_OPS_SELECT_H_
+
+#include <functional>
+
+#include "ops/operator.h"
+
+namespace cedr {
+
+using RowPredicate = std::function<bool(const Row&)>;
+
+class SelectOp : public Operator {
+ public:
+  SelectOp(RowPredicate predicate, ConsistencySpec spec,
+           std::string name = "select");
+
+ protected:
+  Status ProcessInsert(const Event& e, int port) override;
+  Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+
+ private:
+  RowPredicate predicate_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_OPS_SELECT_H_

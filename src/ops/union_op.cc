@@ -1,0 +1,18 @@
+#include "ops/union_op.h"
+
+namespace cedr {
+
+UnionOp::UnionOp(ConsistencySpec spec, std::string name)
+    : Operator(std::move(name), spec, /*num_inputs=*/2) {}
+
+Status UnionOp::ProcessInsert(const Event& e, int /*port*/) {
+  EmitInsert(e);
+  return Status::OK();
+}
+
+Status UnionOp::ProcessRetract(const Event& e, Time new_ve, int /*port*/) {
+  EmitRetract(e, new_ve);
+  return Status::OK();
+}
+
+}  // namespace cedr

@@ -1,0 +1,23 @@
+// Temporal union: passes both inputs through. At the relation level
+// (after coalescing) this is set union; physically it is a bag merge,
+// which is logically equivalent - consumers must be view update
+// compliant (Definition 11) and therefore insensitive to packaging.
+#ifndef CEDR_OPS_UNION_OP_H_
+#define CEDR_OPS_UNION_OP_H_
+
+#include "ops/operator.h"
+
+namespace cedr {
+
+class UnionOp : public Operator {
+ public:
+  explicit UnionOp(ConsistencySpec spec, std::string name = "union");
+
+ protected:
+  Status ProcessInsert(const Event& e, int port) override;
+  Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_OPS_UNION_OP_H_

@@ -1,0 +1,34 @@
+// CANCEL-WHEN(E1, E2) (Section 3.3.2): stops the (partial) detection of
+// E1 when an E2 event occurs during it - an E1 output survives iff no E2
+// event has Vs strictly between the output's root time (start of partial
+// detection) and its Vs (completion). A CEDR-specific feature not found
+// in prior systems: the cancellation scope is the detection itself, not
+// a time or tuple window.
+#ifndef CEDR_PATTERN_CANCEL_WHEN_H_
+#define CEDR_PATTERN_CANCEL_WHEN_H_
+
+#include "ops/operator.h"
+#include "pattern/negation.h"
+
+namespace cedr {
+
+class CancelWhenOp : public Operator {
+ public:
+  CancelWhenOp(NegationPredicate predicate, ConsistencySpec spec,
+               std::string name = "cancel_when");
+
+  size_t StateSize() const override { return core_->StateSize(); }
+
+ protected:
+  Status ProcessInsert(const Event& e, int port) override;
+  Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+  Status ProcessCti(Time t, int port) override;
+  void TrimState(Time horizon) override;
+
+ private:
+  std::unique_ptr<NegationCore> core_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_PATTERN_CANCEL_WHEN_H_

@@ -1,0 +1,216 @@
+#include "pattern/counting.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+AtLeastOp::AtLeastOp(size_t n, int num_inputs, Duration scope,
+                     PatternTuplePredicate predicate, ScModes sc_modes,
+                     SchemaPtr output_schema, ConsistencySpec spec,
+                     std::string name)
+    : PatternOpBase(num_inputs, scope, std::move(predicate),
+                    std::move(sc_modes), std::move(output_schema), spec,
+                    std::move(name)),
+      n_(n) {}
+
+Status AtLeastOp::OnNewCandidate(const Event& e, int port) {
+  if (n_ == 0 || n_ > static_cast<size_t>(num_inputs())) return Status::OK();
+  std::vector<const Event*> tuple;
+  std::vector<int> ports;
+  std::vector<bool> used(num_inputs(), false);
+  Extend(&tuple, &ports, &used, /*anchor_used=*/false, e, port);
+  return Status::OK();
+}
+
+void AtLeastOp::Extend(std::vector<const Event*>* tuple,
+                       std::vector<int>* ports, std::vector<bool>* used,
+                       bool anchor_used, const Event& anchor,
+                       int anchor_port) {
+  if (tuple->size() == n_) {
+    if (anchor_used) EmitComposite(*tuple, *ports);
+    return;
+  }
+  // Pruning: if the anchor has not been placed yet, it must still fit
+  // after the current prefix (strictly increasing Vs).
+  const Time prev_vs = tuple->empty() ? kMinTime : tuple->back()->vs;
+  if (!anchor_used && !(*used)[anchor_port] && anchor.vs <= prev_vs) {
+    return;  // the anchor can no longer be placed
+  }
+
+  auto try_candidate = [&](const Event& candidate, int port,
+                           bool is_anchor) -> bool {
+    if (!tuple->empty()) {
+      if (candidate.vs <= tuple->back()->vs) return false;
+      if (candidate.vs - tuple->front()->vs > scope_) return false;
+    }
+    (*used)[port] = true;
+    tuple->push_back(&candidate);
+    ports->push_back(port);
+    if (predicate_(*tuple, *ports)) {
+      Extend(tuple, ports, used, anchor_used || is_anchor, anchor,
+             anchor_port);
+    }
+    tuple->pop_back();
+    ports->pop_back();
+    (*used)[port] = false;
+    return true;
+  };
+
+  for (int p = 0; p < num_inputs(); ++p) {
+    if ((*used)[p]) continue;
+    if (p == anchor_port && !anchor_used) {
+      // The anchor is the only admissible event of its port (new matches
+      // must involve it); other events of this port may also participate
+      // at other... no: one event per chosen port, so the anchor port
+      // contributes exactly the anchor.
+      try_candidate(anchor, p, /*is_anchor=*/true);
+      continue;
+    }
+    Time lo = tuple->empty() ? kMinTime : TimeAdd(tuple->back()->vs, 1);
+    const Store& s = store(p);
+    const SelectionMode mode = ModeOf(p).selection;
+    auto begin = s.lower_bound(std::make_pair(lo, EventId{0}));
+    if (mode == SelectionMode::kLast) {
+      Time hi = tuple->empty()
+                    ? kInfinity
+                    : TimeAdd(TimeAdd(tuple->front()->vs, scope_), 1);
+      auto end = hi == kInfinity
+                     ? s.end()
+                     : s.lower_bound(std::make_pair(hi, EventId{0}));
+      while (end != begin) {
+        --end;
+        if (end->second.id == anchor.id) continue;
+        if (try_candidate(end->second, p, false)) break;
+      }
+      continue;
+    }
+    for (auto it = begin; it != s.end(); ++it) {
+      if (!tuple->empty() && it->first.first - tuple->front()->vs > scope_) {
+        break;
+      }
+      if (it->second.id == anchor.id) continue;
+      bool admissible = try_candidate(it->second, p, false);
+      if (admissible && mode == SelectionMode::kFirst) break;
+    }
+  }
+}
+
+std::unique_ptr<AtLeastOp> MakeAllOp(int num_inputs, Duration scope,
+                                     PatternTuplePredicate predicate,
+                                     ScModes sc_modes, SchemaPtr output_schema,
+                                     ConsistencySpec spec) {
+  return std::make_unique<AtLeastOp>(
+      static_cast<size_t>(num_inputs), num_inputs, scope,
+      std::move(predicate), std::move(sc_modes), std::move(output_schema),
+      spec, "all");
+}
+
+std::unique_ptr<AtLeastOp> MakeAnyOp(int num_inputs,
+                                     PatternTuplePredicate predicate,
+                                     ScModes sc_modes, SchemaPtr output_schema,
+                                     ConsistencySpec spec) {
+  return std::make_unique<AtLeastOp>(1, num_inputs, /*scope=*/1,
+                                     std::move(predicate),
+                                     std::move(sc_modes),
+                                     std::move(output_schema), spec, "any");
+}
+
+AtMostOp::AtMostOp(size_t n, int num_inputs, Duration scope,
+                   PatternTuplePredicate predicate, ConsistencySpec spec,
+                   std::string name)
+    : Operator(std::move(name), spec, num_inputs),
+      n_(n),
+      scope_(scope),
+      predicate_(predicate ? std::move(predicate) : TruePatternPredicate()) {}
+
+size_t AtMostOp::StateSize() const {
+  return pool_.size() + tracked_.size();
+}
+
+size_t AtMostOp::CountWindow(Time vs) const {
+  // Events with Vs in (vs - scope, vs].
+  auto begin = pool_.lower_bound(
+      std::make_pair(TimeAdd(TimeSub(vs, scope_), 1), EventId{0}));
+  size_t count = 0;
+  for (auto it = begin; it != pool_.end(); ++it) {
+    if (it->first.first > vs) break;
+    ++count;
+  }
+  return count;
+}
+
+void AtMostOp::Evaluate(Tracked* t) {
+  const bool want =
+      t->eligible && CountWindow(t->source.vs) <= n_;
+  if (want == t->emitted) return;
+  if (want) {
+    std::vector<const Event*> tuple = {&t->source};
+    Event composite = MakeCompositeEvent(tuple, scope_, nullptr);
+    if (t->generation > 0) {
+      composite.id = IdGen({composite.id, t->generation});
+      composite.k = composite.id;
+    }
+    ++t->generation;
+    t->composite = composite;
+    t->emitted = true;
+    EmitInsert(std::move(composite));
+  } else {
+    EmitRetract(t->composite, t->composite.vs);
+    t->emitted = false;
+  }
+}
+
+void AtMostOp::Reevaluate(Time vs) {
+  // Tracked events g with vs in (g.Vs - scope, g.Vs], i.e. g.Vs in
+  // [vs, vs + scope).
+  auto begin = pool_.lower_bound(std::make_pair(vs, EventId{0}));
+  for (auto it = begin; it != pool_.end(); ++it) {
+    if (it->first.first >= TimeAdd(vs, scope_)) break;
+    auto tit = tracked_.find(it->second);
+    if (tit != tracked_.end()) Evaluate(&tit->second);
+  }
+}
+
+Status AtMostOp::ProcessInsert(const Event& e, int port) {
+  if (e.valid().empty()) return Status::OK();
+  pool_.emplace(std::make_pair(e.vs, e.id), e.id);
+  Tracked t;
+  t.source = e;
+  std::vector<const Event*> tuple = {&t.source};
+  t.eligible = predicate_(tuple, {port});
+  tracked_.emplace(e.id, std::move(t));
+  Reevaluate(e.vs);
+  return Status::OK();
+}
+
+Status AtMostOp::ProcessRetract(const Event& e, Time new_ve, int /*port*/) {
+  if (new_ve > e.vs) return Status::OK();  // partial shrink: Vs intact
+  auto pit = pool_.find(std::make_pair(e.vs, e.id));
+  if (pit == pool_.end()) {
+    CountLostCorrection();
+    return Status::OK();
+  }
+  pool_.erase(pit);
+  auto tit = tracked_.find(e.id);
+  if (tit != tracked_.end()) {
+    if (tit->second.emitted) {
+      EmitRetract(tit->second.composite, tit->second.composite.vs);
+    }
+    tracked_.erase(tit);
+  }
+  Reevaluate(e.vs);
+  return Status::OK();
+}
+
+void AtMostOp::TrimState(Time horizon) {
+  while (!pool_.empty()) {
+    Time vs = pool_.begin()->first.first;
+    // An event can still affect (or be affected by) arrivals with sync
+    // >= horizon while vs + scope > horizon.
+    if (TimeAdd(vs, scope_) > horizon) break;
+    tracked_.erase(pool_.begin()->second);
+    pool_.erase(pool_.begin());
+  }
+}
+
+}  // namespace cedr

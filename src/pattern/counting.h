@@ -1,0 +1,83 @@
+// Counting pattern operators (Section 3.3.2): ATLEAST, ALL, ANY and the
+// anti-monotonic ATMOST.
+#ifndef CEDR_PATTERN_COUNTING_H_
+#define CEDR_PATTERN_COUNTING_H_
+
+#include "pattern/sequence.h"
+
+namespace cedr {
+
+/// ATLEAST(n, E1, ..., Ek, w): n events drawn from n *distinct* inputs
+/// with strictly increasing Vs spanning at most w. Monotonic, so the
+/// same incremental machinery as SEQUENCE applies.
+class AtLeastOp : public PatternOpBase {
+ public:
+  AtLeastOp(size_t n, int num_inputs, Duration scope,
+            PatternTuplePredicate predicate, ScModes sc_modes,
+            SchemaPtr output_schema, ConsistencySpec spec,
+            std::string name = "atleast");
+
+ protected:
+  Status OnNewCandidate(const Event& e, int port) override;
+
+ private:
+  void Extend(std::vector<const Event*>* tuple, std::vector<int>* ports,
+              std::vector<bool>* used, bool anchor_used, const Event& anchor,
+              int anchor_port);
+
+  size_t n_;
+};
+
+/// ALL(E1, ..., Ek, w) = ATLEAST(k, E1, ..., Ek, w).
+std::unique_ptr<AtLeastOp> MakeAllOp(int num_inputs, Duration scope,
+                                     PatternTuplePredicate predicate,
+                                     ScModes sc_modes, SchemaPtr output_schema,
+                                     ConsistencySpec spec);
+
+/// ANY(E1, ..., Ek) = ATLEAST(1, E1, ..., Ek, 1).
+std::unique_ptr<AtLeastOp> MakeAnyOp(int num_inputs,
+                                     PatternTuplePredicate predicate,
+                                     ScModes sc_modes, SchemaPtr output_schema,
+                                     ConsistencySpec spec);
+
+/// ATMOST(n, E1, ..., Ek, w): an output for each input event e such that
+/// the pooled input count in (e.Vs - w, e.Vs] is at most n (the paper's
+/// sliding-count-aggregate sugar). Anti-monotonic: a straggler can bump a
+/// count past n, retracting previously emitted output; a full removal can
+/// resurrect it.
+class AtMostOp : public Operator {
+ public:
+  AtMostOp(size_t n, int num_inputs, Duration scope, PatternTuplePredicate predicate,
+           ConsistencySpec spec, std::string name = "atmost");
+
+  size_t StateSize() const override;
+
+ protected:
+  Status ProcessInsert(const Event& e, int port) override;
+  Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+  void TrimState(Time horizon) override;
+
+ private:
+  struct Tracked {
+    Event source;
+    Event composite;       // as emitted (generation-adjusted id)
+    bool emitted = false;
+    bool eligible = false; // passed the tuple predicate
+    uint64_t generation = 0;
+  };
+
+  size_t CountWindow(Time vs) const;
+  /// Re-evaluates every tracked event whose window contains vs.
+  void Reevaluate(Time vs);
+  void Evaluate(Tracked* t);
+
+  size_t n_;
+  Duration scope_;
+  PatternTuplePredicate predicate_;
+  std::map<std::pair<Time, EventId>, EventId> pool_;  // (vs, id) -> id
+  std::unordered_map<EventId, Tracked> tracked_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_PATTERN_COUNTING_H_

@@ -1,0 +1,79 @@
+#include "pattern/instance.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+Event MakeCompositeEvent(const std::vector<const Event*>& tuple, Duration w,
+                         const SchemaPtr& schema) {
+  const Event& first = *tuple.front();
+  const Event& last = *tuple.back();
+  Event out;
+  std::vector<EventId> ids;
+  ids.reserve(tuple.size());
+  for (const Event* e : tuple) ids.push_back(e->id);
+  out.id = IdGen(ids);
+  out.k = out.id;
+  out.os = last.os;
+  out.oe = last.oe;
+  out.vs = last.vs;
+  out.ve = TimeAdd(first.vs, w);
+  out.rt = kInfinity;
+  for (const Event* e : tuple) {
+    out.rt = std::min(out.rt, e->rt);
+    out.cbt.push_back(std::make_shared<const Event>(*e));
+  }
+  std::vector<Value> values;
+  for (const Event* e : tuple) {
+    values.insert(values.end(), e->payload.values().begin(),
+                  e->payload.values().end());
+  }
+  out.payload = Row(schema, std::move(values));
+  return out;
+}
+
+void CompositeIndex::Record(const Event& composite) {
+  composites_[composite.id] = composite;
+  for (const EventRef& c : composite.cbt) {
+    by_contributor_[c->id].push_back(composite.id);
+  }
+}
+
+std::vector<Event> CompositeIndex::TakeByContributor(EventId contributor) {
+  std::vector<Event> out;
+  auto it = by_contributor_.find(contributor);
+  if (it == by_contributor_.end()) return out;
+  for (EventId id : it->second) {
+    auto cit = composites_.find(id);
+    if (cit == composites_.end()) continue;
+    out.push_back(cit->second);
+    composites_.erase(cit);
+  }
+  by_contributor_.erase(it);
+  return out;
+}
+
+void CompositeIndex::Trim(Time horizon) {
+  for (auto it = composites_.begin(); it != composites_.end();) {
+    if (it->second.ve <= horizon) {
+      it = composites_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = by_contributor_.begin(); it != by_contributor_.end();) {
+    auto& ids = it->second;
+    ids.erase(std::remove_if(ids.begin(), ids.end(),
+                             [this](EventId id) {
+                               return composites_.count(id) == 0;
+                             }),
+              ids.end());
+    if (ids.empty()) {
+      it = by_contributor_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cedr

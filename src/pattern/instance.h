@@ -1,0 +1,43 @@
+// Composite-instance construction and bookkeeping shared by the runtime
+// pattern detectors.
+#ifndef CEDR_PATTERN_INSTANCE_H_
+#define CEDR_PATTERN_INSTANCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace cedr {
+
+/// Builds the composite event of the Section 3.3.2 operator tables from
+/// an ordered contributor tuple: id = idgen(contributor ids),
+/// Os/Oe/Vs from the last contributor, Ve = first.Vs + w, rt = min root
+/// time, lineage [e1..en], payload = concatenated contributor payloads
+/// under `schema` (may be null).
+Event MakeCompositeEvent(const std::vector<const Event*>& tuple, Duration w,
+                         const SchemaPtr& schema);
+
+/// Index from contributor event id to the composite outputs it
+/// participates in, used to retract composites when a contributor is
+/// removed by a full retraction.
+class CompositeIndex {
+ public:
+  void Record(const Event& composite);
+
+  /// Removes and returns the live composites involving `contributor`.
+  std::vector<Event> TakeByContributor(EventId contributor);
+
+  /// Forgets composites whose lifetime ended at or before `horizon`.
+  void Trim(Time horizon);
+
+  size_t size() const { return composites_.size(); }
+
+ private:
+  std::unordered_map<EventId, Event> composites_;
+  std::unordered_map<EventId, std::vector<EventId>> by_contributor_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_PATTERN_INSTANCE_H_

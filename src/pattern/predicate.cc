@@ -1,0 +1,128 @@
+#include "pattern/predicate.h"
+
+namespace cedr {
+
+TuplePredicate TrueTuplePredicate() {
+  return [](const std::vector<const Event*>&) { return true; };
+}
+
+NegationPredicate TrueNegationPredicate() {
+  return [](const std::vector<const Event*>&, const Event&) { return true; };
+}
+
+PatternTuplePredicate TruePatternPredicate() {
+  return [](const std::vector<const Event*>&, const std::vector<int>&) {
+    return true;
+  };
+}
+
+PatternTuplePredicate IgnorePorts(TuplePredicate predicate) {
+  return [predicate = std::move(predicate)](
+             const std::vector<const Event*>& tuple,
+             const std::vector<int>&) { return predicate(tuple); };
+}
+
+namespace {
+
+bool ApplyOp(AttributeComparison::Op op, int cmp) {
+  switch (op) {
+    case AttributeComparison::Op::kEq:
+      return cmp == 0;
+    case AttributeComparison::Op::kNe:
+      return cmp != 0;
+    case AttributeComparison::Op::kLt:
+      return cmp < 0;
+    case AttributeComparison::Op::kLe:
+      return cmp <= 0;
+    case AttributeComparison::Op::kGt:
+      return cmp > 0;
+    case AttributeComparison::Op::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool CompareValues(const Value& left, const Value& right,
+                   AttributeComparison::Op op) {
+  auto cmp = left.Compare(right);
+  // Type errors and nulls make the predicate fail (SQL-ish), except for
+  // equality tests where null == null could be debated; we fail those too.
+  if (!cmp.ok()) return false;
+  return ApplyOp(op, cmp.ValueOrDie());
+}
+
+}  // namespace
+
+bool AttributeComparison::Evaluate(
+    const std::vector<const Event*>& tuple) const {
+  if (left_contributor >= static_cast<int>(tuple.size()) ||
+      tuple[left_contributor] == nullptr) {
+    return true;
+  }
+  if (right_contributor >= 0 &&
+      (right_contributor >= static_cast<int>(tuple.size()) ||
+       tuple[right_contributor] == nullptr)) {
+    return true;
+  }
+  auto left = tuple[left_contributor]->payload.Get(left_attribute);
+  if (!left.ok()) return false;
+  Value right = constant;
+  if (right_contributor >= 0) {
+    auto r = tuple[right_contributor]->payload.Get(right_attribute);
+    if (!r.ok()) return false;
+    right = std::move(r).ValueOrDie();
+  }
+  return CompareValues(left.ValueOrDie(), right, op);
+}
+
+bool AttributeComparison::EvaluateWithNegated(
+    const std::vector<const Event*>& tuple, const Event& negated,
+    int negated_index) const {
+  auto fetch = [&](int contributor,
+                   const std::string& attribute) -> Result<Value> {
+    if (contributor == negated_index) return negated.payload.Get(attribute);
+    if (contributor >= static_cast<int>(tuple.size()) ||
+        tuple[contributor] == nullptr) {
+      return Status::NotFound("contributor not bound");
+    }
+    return tuple[contributor]->payload.Get(attribute);
+  };
+  auto left = fetch(left_contributor, left_attribute);
+  // An unbound positive contributor cannot veto (prefix-monotone).
+  if (!left.ok()) return left.status().code() == StatusCode::kNotFound &&
+                         left_contributor != negated_index;
+  Value right = constant;
+  if (right_contributor >= 0) {
+    auto r = fetch(right_contributor, right_attribute);
+    if (!r.ok()) return r.status().code() == StatusCode::kNotFound &&
+                        right_contributor != negated_index;
+    right = std::move(r).ValueOrDie();
+  }
+  return CompareValues(left.ValueOrDie(), right, op);
+}
+
+TuplePredicate MakeTuplePredicate(
+    std::vector<AttributeComparison> comparisons) {
+  if (comparisons.empty()) return TrueTuplePredicate();
+  return [comparisons = std::move(comparisons)](
+             const std::vector<const Event*>& tuple) {
+    for (const AttributeComparison& c : comparisons) {
+      if (!c.Evaluate(tuple)) return false;
+    }
+    return true;
+  };
+}
+
+NegationPredicate MakeNegationPredicate(
+    std::vector<AttributeComparison> comparisons, int negated_index) {
+  if (comparisons.empty()) return TrueNegationPredicate();
+  return [comparisons = std::move(comparisons), negated_index](
+             const std::vector<const Event*>& tuple, const Event& negated) {
+    for (const AttributeComparison& c : comparisons) {
+      if (!c.EvaluateWithNegated(tuple, negated, negated_index)) return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace cedr

@@ -1,0 +1,34 @@
+#include "pattern/sc_mode.h"
+
+#include "common/format.h"
+
+namespace cedr {
+
+const char* SelectionModeToString(SelectionMode mode) {
+  switch (mode) {
+    case SelectionMode::kEach:
+      return "each";
+    case SelectionMode::kFirst:
+      return "first";
+    case SelectionMode::kLast:
+      return "last";
+  }
+  return "?";
+}
+
+const char* ConsumptionModeToString(ConsumptionMode mode) {
+  switch (mode) {
+    case ConsumptionMode::kReuse:
+      return "reuse";
+    case ConsumptionMode::kConsume:
+      return "consume";
+  }
+  return "?";
+}
+
+std::string ScMode::ToString() const {
+  return StrCat(SelectionModeToString(selection), "/",
+                ConsumptionModeToString(consumption));
+}
+
+}  // namespace cedr

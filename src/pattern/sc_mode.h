@@ -1,0 +1,48 @@
+// Instance selection and consumption (SC modes, Section 3.2).
+//
+// CEDR decouples SC policy from operator semantics: the policy is a
+// property of each *input parameter* of a pattern operator, not of the
+// operator or the base stream.
+//
+//   selection   - which stored candidate instances participate when a new
+//                 arrival could complete matches:
+//                   kEach       every candidate (the pure denotational
+//                               semantics; default);
+//                   kFirst      only the earliest candidate (chronicle);
+//                   kLast       only the most recent candidate (recent).
+//   consumption - what happens to contributors after they participate in
+//                 an emitted match:
+//                   kReuse      remain available (default);
+//                   kConsume    removed; never contribute to future
+//                               output (the paper's "consumed" instances,
+//                               which also lets state be reclaimed).
+#ifndef CEDR_PATTERN_SC_MODE_H_
+#define CEDR_PATTERN_SC_MODE_H_
+
+#include <string>
+#include <vector>
+
+namespace cedr {
+
+enum class SelectionMode { kEach = 0, kFirst, kLast };
+enum class ConsumptionMode { kReuse = 0, kConsume };
+
+struct ScMode {
+  SelectionMode selection = SelectionMode::kEach;
+  ConsumptionMode consumption = ConsumptionMode::kReuse;
+
+  bool operator==(const ScMode& other) const = default;
+
+  std::string ToString() const;
+};
+
+/// Per-input SC modes for a k-ary pattern operator; missing entries
+/// default to {kEach, kReuse}.
+using ScModes = std::vector<ScMode>;
+
+const char* SelectionModeToString(SelectionMode mode);
+const char* ConsumptionModeToString(ConsumptionMode mode);
+
+}  // namespace cedr
+
+#endif  // CEDR_PATTERN_SC_MODE_H_

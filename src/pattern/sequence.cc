@@ -1,0 +1,187 @@
+#include "pattern/sequence.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+PatternOpBase::PatternOpBase(int num_inputs, Duration scope,
+                             PatternTuplePredicate predicate, ScModes sc_modes,
+                             SchemaPtr output_schema, ConsistencySpec spec,
+                             std::string name)
+    : Operator(std::move(name), spec, num_inputs),
+      scope_(scope),
+      predicate_(predicate ? std::move(predicate) : TruePatternPredicate()),
+      sc_modes_(std::move(sc_modes)),
+      output_schema_(std::move(output_schema)),
+      stores_(num_inputs) {
+  sc_modes_.resize(num_inputs);
+}
+
+size_t PatternOpBase::StateSize() const {
+  size_t n = emitted_.size();
+  for (const Store& s : stores_) n += s.size();
+  return n;
+}
+
+const ScMode& PatternOpBase::ModeOf(int port) const {
+  return sc_modes_[port];
+}
+
+Status PatternOpBase::ProcessInsert(const Event& e, int port) {
+  if (e.valid().empty()) return Status::OK();
+  stores_[port].emplace(std::make_pair(e.vs, e.id), e);
+  Status st = OnNewCandidate(e, port);
+  // Consumption is applied after enumeration so one arrival sees a
+  // consistent candidate snapshot.
+  for (const auto& [p, id] : pending_consumption_) {
+    for (auto it = stores_[p].begin(); it != stores_[p].end(); ++it) {
+      if (it->first.second == id) {
+        stores_[p].erase(it);
+        break;
+      }
+    }
+  }
+  pending_consumption_.clear();
+  return st;
+}
+
+Status PatternOpBase::ProcessRetract(const Event& e, Time new_ve, int port) {
+  const bool full_removal = new_ve <= e.vs;
+  bool found = false;
+  auto it = stores_[port].find(std::make_pair(e.vs, e.id));
+  if (it != stores_[port].end()) {
+    found = true;
+    if (full_removal) {
+      stores_[port].erase(it);
+    } else {
+      it->second.ve = std::min(it->second.ve, new_ve);
+    }
+  }
+  if (full_removal) {
+    // Every composite this contributor participated in is invalidated.
+    std::vector<Event> invalidated = emitted_.TakeByContributor(e.id);
+    for (const Event& composite : invalidated) {
+      EmitRetract(composite, composite.vs);
+    }
+    if (!found && invalidated.empty()) CountLostCorrection();
+  }
+  // Partial lifetime shrink does not affect sequencing (contributor
+  // occurrence is its Vs), so nothing else to repair.
+  return Status::OK();
+}
+
+void PatternOpBase::TrimState(Time horizon) {
+  for (Store& s : stores_) {
+    // A candidate can still combine with future events (sync >= horizon)
+    // only while its Vs + scope reaches the horizon.
+    for (auto it = s.begin(); it != s.end();) {
+      if (TimeAdd(it->first.first, scope_) <= horizon) {
+        it = s.erase(it);
+      } else {
+        break;  // store is ordered by Vs
+      }
+    }
+  }
+  emitted_.Trim(horizon);
+}
+
+void PatternOpBase::EmitComposite(const std::vector<const Event*>& tuple,
+                                  const std::vector<int>& ports) {
+  Event composite = MakeCompositeEvent(tuple, scope_, output_schema_);
+  // A tuple spanning exactly the scope has an empty lifetime: no match.
+  if (composite.valid().empty()) return;
+  emitted_.Record(composite);
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (ModeOf(ports[i]).consumption == ConsumptionMode::kConsume) {
+      pending_consumption_.emplace_back(ports[i], tuple[i]->id);
+    }
+  }
+  EmitInsert(std::move(composite));
+}
+
+SequenceOp::SequenceOp(int num_inputs, Duration scope,
+                       PatternTuplePredicate predicate, ScModes sc_modes,
+                       SchemaPtr output_schema, ConsistencySpec spec,
+                       std::string name)
+    : PatternOpBase(num_inputs, scope, std::move(predicate),
+                    std::move(sc_modes), std::move(output_schema), spec,
+                    std::move(name)) {}
+
+Status SequenceOp::OnNewCandidate(const Event& e, int port) {
+  std::vector<const Event*> tuple;
+  std::vector<int> ports;
+  Extend(&tuple, &ports, /*stage=*/0, e, port);
+  return Status::OK();
+}
+
+void SequenceOp::Extend(std::vector<const Event*>* tuple,
+                        std::vector<int>* ports, int stage,
+                        const Event& anchor, int anchor_port) {
+  const int k = num_inputs();
+  if (stage == k) {
+    EmitComposite(*tuple, *ports);
+    return;
+  }
+
+  auto try_candidate = [&](const Event& candidate) -> bool {
+    if (!tuple->empty()) {
+      if (candidate.vs <= tuple->back()->vs) return false;
+      if (candidate.vs - tuple->front()->vs > scope_) return false;
+    }
+    if (stage < anchor_port) {
+      if (candidate.vs >= anchor.vs) return false;
+      if (anchor.vs - candidate.vs > scope_) return false;
+    }
+    tuple->push_back(&candidate);
+    ports->push_back(stage);
+    if (predicate_(*tuple, *ports)) {
+      Extend(tuple, ports, stage + 1, anchor, anchor_port);
+    }
+    tuple->pop_back();
+    ports->pop_back();
+    return true;
+  };
+
+  if (stage == anchor_port) {
+    try_candidate(anchor);
+    return;
+  }
+
+  // Range of admissible Vs in this port's store.
+  Time lo = kMinTime;
+  if (!tuple->empty()) lo = std::max(lo, TimeAdd(tuple->back()->vs, 1));
+  if (stage < anchor_port && scope_ != kInfinity) {
+    lo = std::max(lo, TimeSub(anchor.vs, scope_));
+  }
+  const Store& s = store(stage);
+  auto begin = s.lower_bound(std::make_pair(lo, EventId{0}));
+
+  const SelectionMode mode = ModeOf(stage).selection;
+  if (mode == SelectionMode::kLast) {
+    // Walk backwards from the end of the admissible range (exclusive
+    // upper bound on Vs).
+    Time hi = kInfinity;
+    if (stage < anchor_port) hi = anchor.vs;
+    if (!tuple->empty()) {
+      hi = std::min(hi, TimeAdd(TimeAdd(tuple->front()->vs, scope_), 1));
+    }
+    auto end = hi == kInfinity ? s.end()
+                               : s.lower_bound(std::make_pair(hi, EventId{0}));
+    while (end != begin) {
+      --end;
+      if (try_candidate(end->second)) return;  // admissible: only the last
+    }
+    return;
+  }
+
+  for (auto it = begin; it != s.end(); ++it) {
+    if (stage < anchor_port && it->first.first >= anchor.vs) break;
+    if (!tuple->empty() && it->first.first - tuple->front()->vs > scope_) {
+      break;
+    }
+    bool admissible = try_candidate(it->second);
+    if (admissible && mode == SelectionMode::kFirst) return;
+  }
+}
+
+}  // namespace cedr

@@ -1,0 +1,79 @@
+#include "plan/logical.h"
+
+#include "common/format.h"
+
+namespace cedr {
+namespace plan {
+
+const char* LogicalKindToString(LogicalKind kind) {
+  switch (kind) {
+    case LogicalKind::kLeaf:
+      return "leaf";
+    case LogicalKind::kSequence:
+      return "sequence";
+    case LogicalKind::kAll:
+      return "all";
+    case LogicalKind::kAny:
+      return "any";
+    case LogicalKind::kAtLeast:
+      return "atleast";
+    case LogicalKind::kAtMost:
+      return "atmost";
+    case LogicalKind::kUnless:
+      return "unless";
+    case LogicalKind::kNot:
+      return "not";
+    case LogicalKind::kCancelWhen:
+      return "cancel-when";
+  }
+  return "?";
+}
+
+std::string LogicalNode::ToString(const std::vector<BoundLeaf>& leaves,
+                                  int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string out = pad + LogicalKindToString(kind);
+  if (kind == LogicalKind::kLeaf) {
+    const BoundLeaf& leaf = leaves[leaf_id];
+    out += StrCat(" ", leaf.event_type, " [", leaf.binding, "@",
+                  leaf.flat_index, "]");
+    if (!leaf.local_filter.empty()) {
+      out += StrCat(" filter(", leaf.local_filter.size(), ")");
+    }
+  } else {
+    if (count > 0) out += StrCat(" n=", count);
+    if (scope > 0) out += StrCat(" w=", TimeToString(scope));
+    if (!tuple_comparisons.empty()) {
+      out += StrCat(" preds=", tuple_comparisons.size());
+    }
+    if (!negation_comparisons.empty()) {
+      out += StrCat(" neg_preds=", negation_comparisons.size());
+    }
+    if (negated_leaf_id >= 0) {
+      out += StrCat(" negated=", leaves[negated_leaf_id].event_type);
+    }
+  }
+  out += "\n";
+  for (const auto& child : children) {
+    out += child->ToString(leaves, indent + 1);
+  }
+  return out;
+}
+
+std::string BoundQuery::ToString() const {
+  std::string out = StrCat("query ", name, " [", spec.ToString(), "]\n");
+  if (root != nullptr) out += root->ToString(leaves, 1);
+  if (output_schema != nullptr) {
+    out += "  output " + output_schema->ToString() + "\n";
+  }
+  if (occurrence_slice.has_value()) {
+    out += "  @" + occurrence_slice->ToString() + "\n";
+  }
+  if (valid_slice.has_value()) {
+    out += "  #" + valid_slice->ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace plan
+}  // namespace cedr

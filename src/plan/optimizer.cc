@@ -1,0 +1,21 @@
+#include "plan/optimizer.h"
+
+namespace cedr {
+namespace plan {
+
+OptimizeResult Optimize(BoundQuery* query) {
+  OptimizeResult result;
+  constexpr int kMaxPasses = 8;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool changed = false;
+    for (Rule rule : DefaultRules()) {
+      changed = rule(query, &result.trace) || changed;
+    }
+    ++result.passes;
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace plan
+}  // namespace cedr

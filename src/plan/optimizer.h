@@ -1,0 +1,23 @@
+// Fixpoint rule driver over bound logical plans.
+#ifndef CEDR_PLAN_OPTIMIZER_H_
+#define CEDR_PLAN_OPTIMIZER_H_
+
+#include "plan/rules.h"
+
+namespace cedr {
+namespace plan {
+
+struct OptimizeResult {
+  /// Human-readable descriptions of the rewrites applied, in order.
+  std::vector<std::string> trace;
+  int passes = 0;
+};
+
+/// Applies the default rule set to a fixpoint (bounded passes). Mutates
+/// `query` in place.
+OptimizeResult Optimize(BoundQuery* query);
+
+}  // namespace plan
+}  // namespace cedr
+
+#endif  // CEDR_PLAN_OPTIMIZER_H_

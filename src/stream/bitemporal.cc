@@ -1,0 +1,178 @@
+#include "stream/bitemporal.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace cedr {
+
+void BitemporalProvider::Emit(Message msg) {
+  msg.cs = next_cs_++;
+  if (msg.kind == MessageKind::kInsert) msg.event.cs = msg.cs;
+  stream_.push_back(std::move(msg));
+}
+
+BitemporalProvider::Version* BitemporalProvider::CurrentVersion(EventId id) {
+  auto it = facts_.find(id);
+  if (it == facts_.end()) return nullptr;
+  Version* current = nullptr;
+  for (Version& v : it->second) {
+    if (v.removed) continue;
+    if (v.event.oe == kInfinity) current = &v;
+  }
+  return current;
+}
+
+Status BitemporalProvider::Insert(EventId id, Interval valid, Time at,
+                                  Row payload) {
+  if (at < clock_) {
+    return Status::InvalidArgument(
+        StrCat("occurrence clock must be nondecreasing (", at, " < ",
+               clock_, ")"));
+  }
+  if (CurrentVersion(id) != nullptr) {
+    return Status::AlreadyExists(StrCat("fact ", id, " already exists"));
+  }
+  clock_ = at;
+  Event e = MakeBitemporalEvent(id, valid.start, valid.end, at, kInfinity,
+                                std::move(payload));
+  e.k = next_k_++;
+  facts_[id].push_back(Version{e, e.k, false});
+  Emit(InsertOf(e));
+  return Status::OK();
+}
+
+Status BitemporalProvider::Modify(EventId id, Interval new_valid, Time at) {
+  if (at < clock_) {
+    return Status::InvalidArgument("occurrence clock must be nondecreasing");
+  }
+  Version* current = CurrentVersion(id);
+  if (current == nullptr) {
+    return Status::NotFound(StrCat("no current version of fact ", id));
+  }
+  if (at <= current->event.os) {
+    return Status::InvalidArgument(
+        "modification must be later than the current version");
+  }
+  clock_ = at;
+  // Close the current version's occurrence interval. Figure 1 shows the
+  // closure as implied by the modification's arrival; the physical
+  // stream encodes it explicitly as a retraction so that replaying the
+  // stream (per-K reduction) reconstructs the same belief.
+  Emit(RetractOf(current->event, at));
+  current->event.oe = at;
+  Event e = current->event;
+  e.vs = new_valid.start;
+  e.ve = new_valid.end;
+  e.os = at;
+  e.oe = kInfinity;
+  e.k = next_k_++;
+  facts_[id].push_back(Version{e, e.k, false});
+  Emit(InsertOf(e));
+  return Status::OK();
+}
+
+Status BitemporalProvider::CorrectChangeTime(EventId id, Time wrong_at,
+                                             Time actual_at) {
+  if (actual_at >= wrong_at) {
+    return Status::InvalidArgument(
+        "corrections move a change earlier (retractions only decrease Oe)");
+  }
+  auto it = facts_.find(id);
+  if (it == facts_.end()) {
+    return Status::NotFound(StrCat("unknown fact ", id));
+  }
+  Version* mistimed = nullptr;
+  Version* predecessor = nullptr;
+  for (Version& v : it->second) {
+    if (v.removed) continue;
+    if (v.event.os == wrong_at) mistimed = &v;
+    if (v.event.oe == wrong_at) predecessor = &v;
+  }
+  if (mistimed == nullptr || predecessor == nullptr) {
+    return Status::NotFound(
+        StrCat("no change of fact ", id, " at occurrence time ", wrong_at));
+  }
+  if (predecessor->event.os > actual_at) {
+    return Status::InvalidArgument(
+        "the corrected change time predates the previous version");
+  }
+
+  // 1. The predecessor's occurrence end moves earlier (a retraction).
+  Event pred_as_emitted = predecessor->event;
+  pred_as_emitted.oe = wrong_at;
+  Emit(RetractOf(pred_as_emitted, actual_at));
+  predecessor->event.oe = actual_at;
+
+  // 2. "Since retractions can only decrease Oe, the original event must
+  // be completely removed so that a new event with a new Os time may be
+  // inserted": Oe -> Os.
+  Emit(RetractOf(mistimed->event, mistimed->event.os));
+  mistimed->removed = true;
+
+  // 3. Reinsert at the correct occurrence time under a fresh K.
+  Event corrected = mistimed->event;
+  corrected.os = actual_at;
+  corrected.oe = kInfinity;
+  corrected.k = next_k_++;
+  facts_[id].push_back(Version{corrected, corrected.k, false});
+  Emit(InsertOf(corrected));
+  return Status::OK();
+}
+
+Status BitemporalProvider::DeclareSyncPoint(Time at) {
+  if (at < clock_) {
+    return Status::InvalidArgument("sync point behind the provider clock");
+  }
+  clock_ = at;
+  Emit(CtiOf(at));
+  return Status::OK();
+}
+
+HistoryTable BitemporalProvider::History() const {
+  return HistoryTable::FromMessages(stream_, TimeDomain::kOccurrence);
+}
+
+HistoryTable BitemporalProvider::ConceptualTable() const {
+  std::vector<Event> rows;
+  for (const auto& [id, versions] : facts_) {
+    for (const Version& v : versions) {
+      if (v.removed) continue;
+      Event e = v.event;
+      e.cs = 0;
+      e.ce = kInfinity;
+      rows.push_back(std::move(e));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Event& a, const Event& b) {
+    if (a.id != b.id) return a.id < b.id;
+    return a.os < b.os;
+  });
+  return HistoryTable(std::move(rows));
+}
+
+Result<Interval> BitemporalProvider::ValidityAsOf(EventId id, Time to) const {
+  auto it = facts_.find(id);
+  if (it == facts_.end()) {
+    return Status::NotFound(StrCat("unknown fact ", id));
+  }
+  for (const Version& v : it->second) {
+    if (v.removed) continue;
+    if (v.event.occurrence().Contains(to)) return v.event.valid();
+  }
+  return Status::NotFound(
+      StrCat("fact ", id, " has no version at occurrence time ", to));
+}
+
+std::vector<EventId> BitemporalProvider::ValidAt(Time tv, Time to) const {
+  std::vector<EventId> out;
+  for (const auto& [id, versions] : facts_) {
+    auto validity = ValidityAsOf(id, to);
+    if (validity.ok() && validity.ValueOrDie().Contains(tv)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace cedr

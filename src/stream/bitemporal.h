@@ -1,0 +1,90 @@
+// Bitemporal stream construction (Section 2) and correction (Section 4).
+//
+// A provider models a fact as an ID whose validity interval can change
+// over occurrence time: each change produces a new version row with the
+// same ID, the previous version's occurrence interval closing at the
+// change point (Figure 1). When a change itself turns out to be wrong,
+// Figure 2's protocol repairs it with occurrence-time retractions: since
+// retractions can only decrease Oe, re-timing a version means fully
+// removing it (Oe = Os) and inserting a replacement under a fresh K.
+//
+// BitemporalProvider is the authoring API for such streams; the result
+// is both a history table (the Figure 2 view) and a physical message
+// stream that replays through HistoryTable::FromMessages.
+#ifndef CEDR_STREAM_BITEMPORAL_H_
+#define CEDR_STREAM_BITEMPORAL_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "stream/history_table.h"
+
+namespace cedr {
+
+class BitemporalProvider {
+ public:
+  BitemporalProvider() = default;
+
+  /// Inserts a new fact `id` with validity `valid`, at occurrence time
+  /// `at` (the provider's logical clock; must be nondecreasing).
+  Status Insert(EventId id, Interval valid, Time at, Row payload = Row());
+
+  /// Changes the fact's validity interval at occurrence time `at`
+  /// (Figure 1's modification events): the current version's occurrence
+  /// interval closes at `at` and a new version opens.
+  Status Modify(EventId id, Interval new_valid, Time at);
+
+  /// Figure 2's correction: the version of `id` current at occurrence
+  /// time `wrong_at` was mistimed; its change actually happened at
+  /// `actual_at` (< wrong_at). Emits the retraction pair the paper
+  /// describes - reduce the predecessor's Oe, fully remove the mistimed
+  /// version, reinsert at the correct occurrence time.
+  Status CorrectChangeTime(EventId id, Time wrong_at, Time actual_at);
+
+  /// Declares a provider sync point: every later message has occurrence
+  /// sync time >= `at`.
+  Status DeclareSyncPoint(Time at);
+
+  /// The physical stream authored so far (occurrence-domain messages:
+  /// retraction new ends are occurrence ends).
+  const std::vector<Message>& stream() const { return stream_; }
+
+  /// The physical history table of the authored stream (Figure 2's
+  /// view: every row ever current, with CEDR intervals).
+  HistoryTable History() const;
+
+  /// The conceptual bitemporal table (Figure 1's view: the current
+  /// belief, one row per surviving version with closed occurrence
+  /// intervals).
+  HistoryTable ConceptualTable() const;
+
+  /// Bitemporal snapshot: the validity interval of `id` as believed at
+  /// occurrence time `to` (NotFound if the fact did not exist then).
+  Result<Interval> ValidityAsOf(EventId id, Time to) const;
+
+  /// The bitemporal snapshot query of Section 2: all ids valid at
+  /// valid-time `tv`, as believed at occurrence time `to`.
+  std::vector<EventId> ValidAt(Time tv, Time to) const;
+
+ private:
+  struct Version {
+    Event event;        // carries vs/ve (validity) and os/oe (occurrence)
+    uint64_t k;
+    bool removed = false;
+  };
+
+  /// Appends a message and assigns arrival order (CEDR time).
+  void Emit(Message msg);
+
+  Version* CurrentVersion(EventId id);
+
+  std::map<EventId, std::vector<Version>> facts_;
+  std::vector<Message> stream_;
+  Time next_cs_ = 1;
+  Time clock_ = kMinTime;   // provider occurrence clock (nondecreasing)
+  uint64_t next_k_ = 1;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_STREAM_BITEMPORAL_H_

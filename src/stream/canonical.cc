@@ -1,0 +1,103 @@
+#include "stream/canonical.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cedr {
+
+HistoryTable Reduce(const HistoryTable& table, TimeDomain domain) {
+  // K -> index into output rows.
+  std::unordered_map<uint64_t, size_t> best;
+  std::vector<Event> out;
+  for (const Event& e : table.rows()) {
+    auto [it, inserted] = best.emplace(e.k, out.size());
+    if (inserted) {
+      out.push_back(e);
+      continue;
+    }
+    Event& cur = out[it->second];
+    Time cur_end = DomainEnd(cur, domain);
+    Time new_end = DomainEnd(e, domain);
+    if (new_end < cur_end || (new_end == cur_end && e.cs >= cur.cs)) {
+      cur = e;
+    }
+  }
+  return HistoryTable(std::move(out));
+}
+
+HistoryTable TruncateTo(const HistoryTable& table, Time t0,
+                        TimeDomain domain) {
+  std::vector<Event> out;
+  for (const Event& e : table.rows()) {
+    if (DomainStart(e, domain) > t0) continue;
+    Event copy = e;
+    if (DomainEnd(copy, domain) > t0) SetDomainEnd(&copy, domain, t0);
+    out.push_back(std::move(copy));
+  }
+  return HistoryTable(std::move(out));
+}
+
+HistoryTable CanonicalTo(const HistoryTable& table, Time t0,
+                         TimeDomain domain) {
+  return TruncateTo(Reduce(table, domain), t0, domain);
+}
+
+HistoryTable CanonicalAt(const HistoryTable& table, Time t0,
+                         TimeDomain domain) {
+  HistoryTable to = CanonicalTo(table, t0, domain);
+  std::vector<Event> out;
+  for (const Event& e : to.rows()) {
+    // After truncation every end is <= t0; a row is live at t0 iff its
+    // interval reaches t0 (the paper's "intersects t0").
+    if (DomainEnd(e, domain) >= t0 && DomainStart(e, domain) <= t0) {
+      out.push_back(e);
+    }
+  }
+  return HistoryTable(std::move(out));
+}
+
+HistoryTable IdealTable(const HistoryTable& table, TimeDomain domain) {
+  HistoryTable reduced = Reduce(table, domain);
+  std::vector<Event> out;
+  for (const Event& e : reduced.rows()) {
+    if (DomainStart(e, domain) >= DomainEnd(e, domain)) continue;  // removed
+    Event copy = e;
+    copy.cs = 0;
+    copy.ce = kInfinity;
+    out.push_back(std::move(copy));
+  }
+  std::sort(out.begin(), out.end(), [&](const Event& a, const Event& b) {
+    if (DomainStart(a, domain) != DomainStart(b, domain)) {
+      return DomainStart(a, domain) < DomainStart(b, domain);
+    }
+    if (DomainEnd(a, domain) != DomainEnd(b, domain)) {
+      return DomainEnd(a, domain) < DomainEnd(b, domain);
+    }
+    return a.id < b.id;
+  });
+  return HistoryTable(std::move(out));
+}
+
+HistoryTable Shred(const HistoryTable& table, Time horizon,
+                   TimeDomain domain) {
+  HistoryTable reduced = Reduce(table, domain);
+  std::vector<Event> out;
+  for (const Event& e : reduced.rows()) {
+    Time start = DomainStart(e, domain);
+    Time end = std::min(DomainEnd(e, domain), horizon);
+    for (Time t = start; t < end; ++t) {
+      Event piece = e;
+      if (domain == TimeDomain::kOccurrence) {
+        piece.os = t;
+        piece.oe = t + 1;
+      } else {
+        piece.vs = t;
+        piece.ve = t + 1;
+      }
+      out.push_back(std::move(piece));
+    }
+  }
+  return HistoryTable(std::move(out));
+}
+
+}  // namespace cedr

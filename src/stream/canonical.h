@@ -1,0 +1,55 @@
+// Canonical history tables (Section 4) and shredded canonical form
+// (Section 3.3.2).
+//
+// Canonicalization "to" a time t0 is a two-step normalization:
+//   1. reduction  - for each K group, only the entry with the earliest
+//                   domain end time is retained (retractions only ever
+//                   reduce the end, so this is the final version);
+//   2. truncation - any end beyond t0 is clamped to t0, and rows starting
+//                   after t0 are removed.
+// The canonical table *at* t0 further removes rows whose (truncated)
+// domain interval does not reach t0, leaving exactly the state live at t0.
+#ifndef CEDR_STREAM_CANONICAL_H_
+#define CEDR_STREAM_CANONICAL_H_
+
+#include "stream/history_table.h"
+
+namespace cedr {
+
+/// Reduction step: one row per K, the one with the least domain end.
+/// Ties are broken toward the latest Cs (the most recent physical row).
+HistoryTable Reduce(const HistoryTable& table,
+                    TimeDomain domain = TimeDomain::kOccurrence);
+
+/// Truncation step: clamps ends greater than t0 down to t0 and drops rows
+/// whose domain start exceeds t0.
+HistoryTable TruncateTo(const HistoryTable& table, Time t0,
+                        TimeDomain domain = TimeDomain::kOccurrence);
+
+/// Canonical history table to t0 = TruncateTo(Reduce(table), t0).
+HistoryTable CanonicalTo(const HistoryTable& table, Time t0,
+                         TimeDomain domain = TimeDomain::kOccurrence);
+
+/// Canonical history table at t0: CanonicalTo(t0) minus rows whose
+/// truncated domain interval does not intersect t0 (i.e. rows that ended
+/// strictly before t0) - the live snapshot.
+HistoryTable CanonicalAt(const HistoryTable& table, Time t0,
+                         TimeDomain domain = TimeDomain::kOccurrence);
+
+/// The ideal history table (Section 6): the infinite canonical history
+/// table with the CEDR time fields projected out and fully-removed rows
+/// (empty domain intervals) dropped. This is the converged logical
+/// content of the stream.
+HistoryTable IdealTable(const HistoryTable& table,
+                        TimeDomain domain = TimeDomain::kValid);
+
+/// Shredded canonical form (Section 3.3.2): each row of the reduced table
+/// with domain interval [s, e) is replaced by e-s rows of unit-length
+/// consecutive intervals covering [s, e). Rows with infinite ends are
+/// shredded up to `horizon` (the paper assumes finite intervals here).
+HistoryTable Shred(const HistoryTable& table, Time horizon,
+                   TimeDomain domain = TimeDomain::kOccurrence);
+
+}  // namespace cedr
+
+#endif  // CEDR_STREAM_CANONICAL_H_

@@ -1,0 +1,106 @@
+#include "stream/coalesce.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace cedr {
+
+bool Meets(const Event& e1, const Event& e2) {
+  return e1.valid().Meets(e2.valid());
+}
+
+bool CanCoalesce(const Event& e1, const Event& e2) {
+  return e1.payload == e2.payload && (Meets(e1, e2) || Meets(e2, e1));
+}
+
+void IntervalSet::Add(Interval iv) {
+  if (iv.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& cur : intervals_) {
+    if (cur.end < iv.start || iv.end < cur.start) {
+      // Disjoint and not meeting: keep as is.
+      out.push_back(cur);
+    } else {
+      // Overlapping or meeting: merge into iv.
+      iv.start = std::min(iv.start, cur.start);
+      iv.end = std::max(iv.end, cur.end);
+    }
+  }
+  out.push_back(iv);
+  std::sort(out.begin(), out.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  intervals_ = std::move(out);
+}
+
+void IntervalSet::Subtract(Interval iv) {
+  if (iv.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& cur : intervals_) {
+    Interval overlap = cur.Intersect(iv);
+    if (overlap.empty()) {
+      out.push_back(cur);
+      continue;
+    }
+    Interval left{cur.start, overlap.start};
+    Interval right{overlap.end, cur.end};
+    if (!left.empty()) out.push_back(left);
+    if (!right.empty()) out.push_back(right);
+  }
+  intervals_ = std::move(out);
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += intervals_[i].ToString();
+  }
+  return out + "}";
+}
+
+std::map<Row, IntervalSet> ToRelation(const std::vector<Event>& events) {
+  std::map<Row, IntervalSet> relation;
+  for (const Event& e : events) {
+    if (e.valid().empty()) continue;
+    relation[e.payload].Add(e.valid());
+  }
+  return relation;
+}
+
+std::vector<Event> FromRelation(const std::map<Row, IntervalSet>& relation) {
+  std::vector<Event> out;
+  for (const auto& [payload, set] : relation) {
+    for (const Interval& iv : set.intervals()) {
+      Event e;
+      e.vs = iv.start;
+      e.ve = iv.end;
+      e.os = iv.start;
+      e.oe = kInfinity;
+      e.rt = iv.start;
+      e.payload = payload;
+      // Deterministic id from payload hash and interval.
+      size_t seed = payload.Hash();
+      HashCombineValue(&seed, iv.start);
+      HashCombineValue(&seed, iv.end);
+      e.id = SplitMix64(seed) | (1ULL << 62);
+      e.k = e.id;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::vector<Event> Star(const std::vector<Event>& events) {
+  return FromRelation(ToRelation(events));
+}
+
+HistoryTable Star(const HistoryTable& table) {
+  return HistoryTable(Star(table.rows()));
+}
+
+}  // namespace cedr

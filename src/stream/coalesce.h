@@ -1,0 +1,64 @@
+// Coalescing and the * operator (Definition 10), plus the per-payload
+// interval-set normalization used by the set-semantics relational
+// operators (union, difference, aggregation).
+//
+// Two events coalesce iff their payloads are identical and their valid
+// intervals meet ([a,b) then [b,c) -> [a,c)). *(S) applies coalescence
+// exhaustively; view-update compliance (Definition 11) is insensitivity
+// of an operator to how lifetimes are chopped, i.e. O commutes with *.
+#ifndef CEDR_STREAM_COALESCE_H_
+#define CEDR_STREAM_COALESCE_H_
+
+#include <map>
+#include <vector>
+
+#include "stream/history_table.h"
+
+namespace cedr {
+
+/// Definition 10's meets predicate on valid intervals.
+bool Meets(const Event& e1, const Event& e2);
+
+/// True iff the two events can be coalesced (equal payloads, intervals
+/// meet in either direction).
+bool CanCoalesce(const Event& e1, const Event& e2);
+
+/// The * operator: repeatedly coalesces a unitemporal table until no two
+/// events can be coalesced. Events with empty lifetimes are dropped.
+/// Output is sorted by (payload, Vs) with fresh ids derived from the
+/// coalesced group. Overlapping equal-payload intervals are unioned
+/// (set semantics of the underlying changing relation).
+HistoryTable Star(const HistoryTable& table);
+
+/// Star on a raw event list.
+std::vector<Event> Star(const std::vector<Event>& events);
+
+/// A payload's lifetime as a set of disjoint, non-meeting intervals -
+/// the fully coalesced form. Keyed map form used by runtime repair.
+class IntervalSet {
+ public:
+  void Add(Interval iv);
+  void Subtract(Interval iv);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals_.empty(); }
+
+  bool operator==(const IntervalSet& other) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;  // disjoint, sorted, non-meeting
+};
+
+/// Groups a unitemporal event list into payload -> coalesced interval
+/// set. The canonical "changing relation" denoted by the stream.
+std::map<Row, IntervalSet> ToRelation(const std::vector<Event>& events);
+
+/// Expands a relation back to one event per (payload, interval) with
+/// deterministic ids.
+std::vector<Event> FromRelation(const std::map<Row, IntervalSet>& relation);
+
+}  // namespace cedr
+
+#endif  // CEDR_STREAM_COALESCE_H_

@@ -1,0 +1,83 @@
+#include "stream/equivalence.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace cedr {
+
+namespace {
+
+struct ProjectedRow {
+  EventId id;
+  Time vs, ve, os, oe;
+  uint64_t k;
+  Row payload;
+
+  auto Key() const { return std::tie(id, vs, ve, os, oe, k); }
+
+  bool operator<(const ProjectedRow& other) const {
+    if (Key() != other.Key()) return Key() < other.Key();
+    return payload < other.payload;
+  }
+  bool operator==(const ProjectedRow& other) const {
+    return Key() == other.Key() && payload == other.payload;
+  }
+};
+
+std::vector<ProjectedRow> Project(const HistoryTable& table,
+                                  const EquivalenceOptions& options) {
+  std::vector<ProjectedRow> rows;
+  rows.reserve(table.size());
+  for (const Event& e : table.rows()) {
+    if (options.drop_empty &&
+        DomainStart(e, options.domain) >= DomainEnd(e, options.domain)) {
+      continue;
+    }
+    ProjectedRow r;
+    r.id = options.compare_id ? e.id : 0;
+    r.vs = e.vs;
+    r.ve = e.ve;
+    r.os = e.os;
+    r.oe = e.oe;
+    r.k = options.compare_k ? e.k : 0;
+    if (options.compare_payload) r.payload = e.payload;
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+bool ProjectedEquals(const HistoryTable& a, const HistoryTable& b,
+                     const EquivalenceOptions& options) {
+  return Project(a, options) == Project(b, options);
+}
+
+bool LogicallyEquivalentTo(const HistoryTable& a, const HistoryTable& b,
+                           Time t0, const EquivalenceOptions& options) {
+  return ProjectedEquals(CanonicalTo(a, t0, options.domain),
+                         CanonicalTo(b, t0, options.domain), options);
+}
+
+bool LogicallyEquivalentAt(const HistoryTable& a, const HistoryTable& b,
+                           Time t0, const EquivalenceOptions& options) {
+  return ProjectedEquals(CanonicalAt(a, t0, options.domain),
+                         CanonicalAt(b, t0, options.domain), options);
+}
+
+bool LogicallyEquivalent(const HistoryTable& a, const HistoryTable& b,
+                         const EquivalenceOptions& options) {
+  return ProjectedEquals(CanonicalTo(a, kInfinity, options.domain),
+                         CanonicalTo(b, kInfinity, options.domain), options);
+}
+
+bool LogicallyEquivalent(const std::vector<Message>& a,
+                         const std::vector<Message>& b,
+                         const EquivalenceOptions& options) {
+  return LogicallyEquivalent(HistoryTable::FromMessages(a, options.domain),
+                             HistoryTable::FromMessages(b, options.domain),
+                             options);
+}
+
+}  // namespace cedr

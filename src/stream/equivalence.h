@@ -1,0 +1,55 @@
+// Logical equivalence of streams (Definition 1, Section 4).
+//
+// Two streams are logically equivalent to t0 (at t0) iff their canonical
+// history tables to t0 (at t0) agree after projecting out the CEDR time
+// columns: they describe the same logical state of the underlying
+// database regardless of the order in which the updates arrived.
+#ifndef CEDR_STREAM_EQUIVALENCE_H_
+#define CEDR_STREAM_EQUIVALENCE_H_
+
+#include "stream/canonical.h"
+
+namespace cedr {
+
+struct EquivalenceOptions {
+  TimeDomain domain = TimeDomain::kOccurrence;
+  /// Definition 1 projects out Cs and Ce. K is an arrival-order artifact
+  /// (the grouping of inserts with their retractions), so by default it is
+  /// projected out too; set to true to demand identical K assignment.
+  bool compare_k = false;
+  /// When false, the ID column is also ignored (useful for comparing
+  /// operator outputs whose generated ids differ between runs).
+  bool compare_id = true;
+  bool compare_payload = true;
+  /// A completely removed event (empty domain interval after reduction)
+  /// carries no logical content: by default it compares equal to never
+  /// having been inserted at all.
+  bool drop_empty = true;
+};
+
+/// Multiset equality of the projections of two (already canonical)
+/// tables.
+bool ProjectedEquals(const HistoryTable& a, const HistoryTable& b,
+                     const EquivalenceOptions& options = {});
+
+/// Definition 1: equivalence of the canonical tables *to* t0.
+bool LogicallyEquivalentTo(const HistoryTable& a, const HistoryTable& b,
+                           Time t0, const EquivalenceOptions& options = {});
+
+/// Definition 1 variant: equivalence of the canonical tables *at* t0.
+bool LogicallyEquivalentAt(const HistoryTable& a, const HistoryTable& b,
+                           Time t0, const EquivalenceOptions& options = {});
+
+/// Equivalence "to infinity" (Definition 6's premise): the converged
+/// logical content is the same.
+bool LogicallyEquivalent(const HistoryTable& a, const HistoryTable& b,
+                         const EquivalenceOptions& options = {});
+
+/// Convenience overloads replaying physical streams first.
+bool LogicallyEquivalent(const std::vector<Message>& a,
+                         const std::vector<Message>& b,
+                         const EquivalenceOptions& options = {});
+
+}  // namespace cedr
+
+#endif  // CEDR_STREAM_EQUIVALENCE_H_

@@ -1,0 +1,55 @@
+#include "stream/event.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+#include "common/hash.h"
+
+namespace cedr {
+
+std::string Event::ToString() const {
+  std::string out = StrCat("e", id, " V", valid().ToString(), " O",
+                           occurrence().ToString(), " C", cedr().ToString());
+  if (!payload.empty()) out += " " + payload.ToString();
+  return out;
+}
+
+EventId IdGen(const std::vector<EventId>& inputs) {
+  uint64_t h = 0x5EED5EEDULL;
+  for (EventId id : inputs) {
+    h = SplitMix64(h ^ SplitMix64(id + 0x1234));
+  }
+  // Keep the top bit set so generated ids never collide with small
+  // hand-assigned primitive ids.
+  return h | (1ULL << 63);
+}
+
+Event MakeEvent(EventId id, Time vs, Time ve, Row payload) {
+  Event e;
+  e.id = id;
+  e.vs = vs;
+  e.ve = ve;
+  e.os = vs;
+  e.oe = kInfinity;
+  e.k = id;
+  e.rt = vs;
+  e.payload = std::move(payload);
+  return e;
+}
+
+Event MakeBitemporalEvent(EventId id, Time vs, Time ve, Time os, Time oe,
+                          Row payload) {
+  Event e = MakeEvent(id, vs, ve, std::move(payload));
+  e.os = os;
+  e.oe = oe;
+  e.rt = vs;
+  return e;
+}
+
+Time MinRootTime(const std::vector<EventRef>& contributors, Time fallback) {
+  Time rt = fallback;
+  for (const EventRef& c : contributors) rt = std::min(rt, c->rt);
+  return rt;
+}
+
+}  // namespace cedr

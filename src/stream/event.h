@@ -1,0 +1,85 @@
+// Event: a tuple of the CEDR tritemporal stream model (Sections 2 and 4).
+//
+// Conceptually a stream is a time-varying relation whose rows carry three
+// temporal dimensions:
+//   * valid time      [Vs, Ve)  - when the fact holds, per the provider;
+//   * occurrence time [Os, Oe)  - when this version of the fact was the
+//                                 current one, per the provider's logical
+//                                 clock (modifications produce new rows
+//                                 with the same ID and later Os);
+//   * CEDR time       [Cs, Ce)  - when this physical row was current at
+//                                 the CEDR server (retractions close Ce of
+//                                 the row they correct).
+// K groups an initial insert with all its retractions (Section 4,
+// Figure 2). Rt and cbt[] are the composite-event header fields of
+// Section 3.3.1: root time and contributor lineage.
+#ifndef CEDR_STREAM_EVENT_H_
+#define CEDR_STREAM_EVENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/row.h"
+#include "common/time.h"
+
+namespace cedr {
+
+using EventId = uint64_t;
+
+struct Event;
+using EventRef = std::shared_ptr<const Event>;
+
+struct Event {
+  EventId id = 0;
+
+  // Valid time.
+  Time vs = 0;
+  Time ve = kInfinity;
+  // Occurrence time.
+  Time os = 0;
+  Time oe = kInfinity;
+  // CEDR (system) time.
+  Time cs = 0;
+  Time ce = kInfinity;
+
+  /// Retraction-group key (Figure 2's K column).
+  uint64_t k = 0;
+
+  /// Root time: minimum root time among contributors; equals vs for
+  /// primitive events. Used by CANCEL-WHEN (Section 3.3.2).
+  Time rt = 0;
+
+  /// Contributor lineage for composite events ([e1, ..., en]); empty for
+  /// primitive events (the paper's NULL).
+  std::vector<EventRef> cbt;
+
+  Row payload;
+
+  Interval valid() const { return Interval{vs, ve}; }
+  Interval occurrence() const { return Interval{os, oe}; }
+  Interval cedr() const { return Interval{cs, ce}; }
+
+  bool is_primitive() const { return cbt.empty(); }
+
+  /// Header + payload rendering, e.g. "e3 V[1, 10) O[2, inf) C[4, inf)".
+  std::string ToString() const;
+};
+
+/// The paper's idgen pairing function: maps any list of contributor IDs to
+/// an output ID such that different input sets give different outputs
+/// (realized as an order-sensitive 64-bit mix; collisions are negligible
+/// for the id spaces used here).
+EventId IdGen(const std::vector<EventId>& inputs);
+
+/// Convenience builders used pervasively in tests and benches.
+Event MakeEvent(EventId id, Time vs, Time ve, Row payload = Row());
+Event MakeBitemporalEvent(EventId id, Time vs, Time ve, Time os, Time oe,
+                          Row payload = Row());
+
+/// Returns the minimum root time among contributors, or fallback if none.
+Time MinRootTime(const std::vector<EventRef>& contributors, Time fallback);
+
+}  // namespace cedr
+
+#endif  // CEDR_STREAM_EVENT_H_

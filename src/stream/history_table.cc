@@ -1,0 +1,111 @@
+#include "stream/history_table.h"
+
+#include <unordered_map>
+
+#include "common/format.h"
+
+namespace cedr {
+
+Time DomainStart(const Event& e, TimeDomain domain) {
+  return domain == TimeDomain::kOccurrence ? e.os : e.vs;
+}
+
+Time DomainEnd(const Event& e, TimeDomain domain) {
+  return domain == TimeDomain::kOccurrence ? e.oe : e.ve;
+}
+
+void SetDomainEnd(Event* e, TimeDomain domain, Time end) {
+  if (domain == TimeDomain::kOccurrence) {
+    e->oe = end;
+  } else {
+    e->ve = end;
+  }
+}
+
+HistoryTable HistoryTable::FromMessages(const std::vector<Message>& stream,
+                                        TimeDomain domain) {
+  HistoryTable table;
+  // Index of the latest (open) row per K group.
+  std::unordered_map<uint64_t, size_t> latest;
+  for (const Message& m : stream) {
+    switch (m.kind) {
+      case MessageKind::kInsert: {
+        Event row = m.event;
+        row.cs = m.cs;
+        row.ce = kInfinity;
+        if (row.k == 0) row.k = row.id;
+        latest[row.k] = table.rows_.size();
+        table.rows_.push_back(std::move(row));
+        break;
+      }
+      case MessageKind::kRetract: {
+        uint64_t k = m.event.k != 0 ? m.event.k : m.event.id;
+        auto it = latest.find(k);
+        if (it == latest.end()) {
+          // Retraction of an unknown event: record it as its own row so
+          // the anomaly is visible in the table.
+          Event row = m.event;
+          SetDomainEnd(&row, domain, m.new_ve);
+          row.cs = m.cs;
+          row.ce = kInfinity;
+          row.k = k;
+          latest[k] = table.rows_.size();
+          table.rows_.push_back(std::move(row));
+          break;
+        }
+        Event& prev = table.rows_[it->second];
+        prev.ce = m.cs;  // the previous version stops being current
+        Event row = prev;
+        SetDomainEnd(&row, domain, m.new_ve);
+        row.cs = m.cs;
+        row.ce = kInfinity;
+        latest[k] = table.rows_.size();
+        table.rows_.push_back(std::move(row));
+        break;
+      }
+      case MessageKind::kCti:
+        break;
+    }
+  }
+  return table;
+}
+
+std::string HistoryTable::ToString(
+    const std::vector<std::string>& columns) const {
+  TextTable out(columns);
+  for (const Event& e : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (const std::string& c : columns) {
+      if (c == "ID") {
+        cells.push_back(StrCat("e", e.id));
+      } else if (c == "Vs") {
+        cells.push_back(TimeToString(e.vs));
+      } else if (c == "Ve") {
+        cells.push_back(TimeToString(e.ve));
+      } else if (c == "Os") {
+        cells.push_back(TimeToString(e.os));
+      } else if (c == "Oe") {
+        cells.push_back(TimeToString(e.oe));
+      } else if (c == "Cs") {
+        cells.push_back(TimeToString(e.cs));
+      } else if (c == "Ce") {
+        cells.push_back(TimeToString(e.ce));
+      } else if (c == "K") {
+        cells.push_back(StrCat("E", e.k));
+      } else if (c == "Payload") {
+        cells.push_back(e.payload.ToString());
+      } else {
+        cells.push_back("?");
+      }
+    }
+    out.AddRow(std::move(cells));
+  }
+  return out.ToString();
+}
+
+std::string HistoryTable::ToString() const {
+  return ToString({"ID", "Vs", "Ve", "Os", "Oe", "Cs", "Ce", "K", "Payload"});
+}
+
+}  // namespace cedr

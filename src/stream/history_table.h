@@ -1,0 +1,61 @@
+// History tables (Section 4).
+//
+// A history table records every physical row a stream has carried,
+// including superseded versions: each K group holds an initial insert
+// followed by its retractions, each of which reduces the occurrence end
+// time (tritemporal model) or the valid end time (Section 6 unitemporal
+// model) relative to the previous matching entry. CEDR time [Cs, Ce)
+// records when each row was the current one at the server.
+#ifndef CEDR_STREAM_HISTORY_TABLE_H_
+#define CEDR_STREAM_HISTORY_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/message.h"
+
+namespace cedr {
+
+/// Which temporal dimension the canonicalization machinery reads. The
+/// definitions of Section 4 are stated on occurrence time; Section 6
+/// restates them on valid time for the unitemporal runtime model.
+enum class TimeDomain { kOccurrence, kValid };
+
+/// Accessors for the start/end of the selected domain.
+Time DomainStart(const Event& e, TimeDomain domain);
+Time DomainEnd(const Event& e, TimeDomain domain);
+void SetDomainEnd(Event* e, TimeDomain domain, Time end);
+
+class HistoryTable {
+ public:
+  HistoryTable() = default;
+  explicit HistoryTable(std::vector<Event> rows) : rows_(std::move(rows)) {}
+
+  /// Replays a physical message stream into its history table in the
+  /// given domain: inserts open a new K group; retractions close the
+  /// CEDR interval of the group's latest row and append the corrected
+  /// row (Figure 2's protocol). CTIs carry no state and are skipped.
+  static HistoryTable FromMessages(const std::vector<Message>& stream,
+                                   TimeDomain domain = TimeDomain::kValid);
+
+  const std::vector<Event>& rows() const { return rows_; }
+  std::vector<Event>& rows() { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void Add(Event row) { rows_.push_back(std::move(row)); }
+
+  /// Renders in the style of the paper's figures. `columns` is a subset
+  /// of {"ID","Vs","Ve","Os","Oe","Cs","Ce","K","Payload"}.
+  std::string ToString(const std::vector<std::string>& columns) const;
+
+  /// All nine columns.
+  std::string ToString() const;
+
+ private:
+  std::vector<Event> rows_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_STREAM_HISTORY_TABLE_H_

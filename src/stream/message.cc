@@ -1,0 +1,94 @@
+#include "stream/message.h"
+
+#include "common/format.h"
+
+namespace cedr {
+
+const char* MessageKindToString(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kInsert:
+      return "INSERT";
+    case MessageKind::kRetract:
+      return "RETRACT";
+    case MessageKind::kCti:
+      return "CTI";
+  }
+  return "?";
+}
+
+Time Message::SyncTime() const {
+  switch (kind) {
+    case MessageKind::kInsert:
+      return event.vs;
+    case MessageKind::kRetract:
+      return new_ve;
+    case MessageKind::kCti:
+      return time;
+  }
+  return 0;
+}
+
+std::string Message::ToString() const {
+  switch (kind) {
+    case MessageKind::kInsert:
+      return StrCat("INSERT ", event.ToString(), " @cs=", cs);
+    case MessageKind::kRetract:
+      return StrCat("RETRACT e", event.id, " ", event.valid().ToString(),
+                    " -> [", TimeToString(event.vs), ", ",
+                    TimeToString(new_ve), ") @cs=", cs);
+    case MessageKind::kCti:
+      return StrCat("CTI ", TimeToString(time), " @cs=", cs);
+  }
+  return "?";
+}
+
+Message InsertOf(Event event, Time cs) {
+  Message m;
+  m.kind = MessageKind::kInsert;
+  m.event = std::move(event);
+  m.cs = cs;
+  m.event.cs = cs;
+  return m;
+}
+
+Message RetractOf(const Event& event, Time new_ve, Time cs) {
+  Message m;
+  m.kind = MessageKind::kRetract;
+  m.event = event;
+  m.new_ve = new_ve;
+  m.cs = cs;
+  return m;
+}
+
+Message CtiOf(Time time, Time cs) {
+  Message m;
+  m.kind = MessageKind::kCti;
+  m.time = time;
+  m.cs = cs;
+  return m;
+}
+
+bool IsOrdered(const std::vector<Message>& stream) {
+  Time watermark = kMinTime;
+  for (const Message& m : stream) {
+    if (m.SyncTime() < watermark) return false;
+    if (m.kind == MessageKind::kCti) {
+      watermark = std::max(watermark, m.time);
+    } else {
+      watermark = std::max(watermark, m.SyncTime());
+    }
+  }
+  return true;
+}
+
+double Orderliness(const std::vector<Message>& stream) {
+  if (stream.size() < 2) return 1.0;
+  size_t ordered_pairs = 0;
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].SyncTime() >= stream[i - 1].SyncTime()) ++ordered_pairs;
+  }
+  return static_cast<double>(ordered_pairs) /
+         static_cast<double>(stream.size() - 1);
+}
+
+}  // namespace cedr

@@ -1,0 +1,69 @@
+// StreamMessage: the unit of the physical runtime stream (Section 6 model).
+//
+// Section 6 merges occurrence and valid time into a single valid-time
+// dimension whose lifetime may only be *shortened* by retractions; in
+// addition operators "accept occurrence time guarantees on subsequent
+// inputs" (Figure 7). The physical stream is therefore a sequence of:
+//
+//   kInsert  - a new event with lifetime [vs, ve);
+//   kRetract - shortens the lifetime of a previously inserted event to
+//              [vs, new_ve); new_ve == vs removes the event entirely (the
+//              paper's "completely remove the old event" protocol);
+//   kCti     - current-time-increment guarantee: every later message has
+//              sync time >= time (provider-declared sync points).
+//
+// The sync time of a message (the Sync column of Figure 6 translated to
+// the unitemporal model) is vs for inserts and new_ve for retractions.
+#ifndef CEDR_STREAM_MESSAGE_H_
+#define CEDR_STREAM_MESSAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace cedr {
+
+enum class MessageKind { kInsert = 0, kRetract, kCti };
+
+const char* MessageKindToString(MessageKind kind);
+
+struct Message {
+  MessageKind kind = MessageKind::kInsert;
+
+  /// kInsert: the inserted event. kRetract: a copy of the event being
+  /// corrected (id, vs, original ve, payload) so stateless operators can
+  /// recompute derived values without a lookup.
+  Event event;
+
+  /// kRetract only: the corrected (smaller) valid end time.
+  Time new_ve = 0;
+
+  /// kCti only: the guarantee time.
+  Time time = 0;
+
+  /// CEDR arrival timestamp of this message (assigned by the source or
+  /// the upstream operator when emitted).
+  Time cs = 0;
+
+  /// The Sync value used for sync-point and alignment logic.
+  Time SyncTime() const;
+
+  std::string ToString() const;
+};
+
+Message InsertOf(Event event, Time cs = 0);
+Message RetractOf(const Event& event, Time new_ve, Time cs = 0);
+Message CtiOf(Time time, Time cs = 0);
+
+/// True iff messages are ordered by nondecreasing sync time and every
+/// message respects all preceding CTIs (no out-of-order events).
+bool IsOrdered(const std::vector<Message>& stream);
+
+/// Fraction of adjacent message pairs in sync order (1.0 == fully
+/// ordered). The orderliness measure of Figure 8.
+double Orderliness(const std::vector<Message>& stream);
+
+}  // namespace cedr
+
+#endif  // CEDR_STREAM_MESSAGE_H_

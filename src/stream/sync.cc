@@ -1,0 +1,99 @@
+#include "stream/sync.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/format.h"
+
+namespace cedr {
+
+AnnotatedTable AnnotatedTable::FromHistory(const HistoryTable& table,
+                                           TimeDomain domain) {
+  AnnotatedTable out;
+  out.domain_ = domain;
+  // Order rows by Cs (stable w.r.t. the physical order for equal Cs).
+  std::vector<Event> rows = table.rows();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Event& a, const Event& b) { return a.cs < b.cs; });
+  std::unordered_map<uint64_t, bool> seen;
+  for (const Event& e : rows) {
+    AnnotatedRow ar;
+    ar.row = e;
+    bool& already = seen[e.k];
+    ar.is_retraction = already;
+    ar.sync = already ? DomainEnd(e, domain) : DomainStart(e, domain);
+    already = true;
+    out.rows_.push_back(std::move(ar));
+  }
+  return out;
+}
+
+bool AnnotatedTable::IsSyncPoint(Time t0, Time T) const {
+  for (const AnnotatedRow& e : rows_) {
+    bool past_cedr = e.row.cs <= T;
+    bool past_sync = e.sync <= t0;
+    if (past_cedr != past_sync) return false;
+  }
+  return true;
+}
+
+bool AnnotatedTable::IsFullyOrdered() const {
+  // rows_ is sorted by Cs; check it is also sorted by <Sync, Cs>.
+  for (size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i].sync < rows_[i - 1].sync) return false;
+  }
+  return true;
+}
+
+std::vector<AnnotatedTable::SyncRange> AnnotatedTable::EnumerateSyncPoints()
+    const {
+  std::vector<SyncRange> out;
+  if (rows_.empty()) return out;
+  // For each prefix split after position i (prefix = rows with Cs <=
+  // rows_[i].cs), a valid t0 satisfies max(sync of prefix) <= t0 <
+  // min(sync of suffix). Precompute suffix minima.
+  const size_t n = rows_.size();
+  std::vector<Time> suffix_min(n + 1, kInfinity);
+  for (size_t i = n; i-- > 0;) {
+    suffix_min[i] = std::min(suffix_min[i + 1], rows_[i].sync);
+  }
+  Time prefix_max = kMinTime;
+  for (size_t i = 0; i < n; ++i) {
+    prefix_max = std::max(prefix_max, rows_[i].sync);
+    // Splits are only well defined at Cs boundaries: skip if the next row
+    // shares this Cs (it would land on the same side of any T).
+    if (i + 1 < n && rows_[i + 1].row.cs == rows_[i].row.cs) continue;
+    // Definition 2 needs sync <= t0 for the prefix and sync > t0 for the
+    // suffix, so t0 ranges over [prefix_max, suffix_min_next).
+    SyncRange r;
+    r.T = rows_[i].row.cs;
+    r.t0_min = prefix_max;
+    r.t0_max = suffix_min[i + 1];
+    if (r.t0_min < r.t0_max) out.push_back(r);
+  }
+  return out;
+}
+
+double AnnotatedTable::SyncPointDensity() const {
+  if (rows_.empty()) return 1.0;
+  size_t count = 0;
+  for (const AnnotatedRow& e : rows_) {
+    if (IsSyncPoint(e.sync, e.row.cs)) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(rows_.size());
+}
+
+std::string AnnotatedTable::ToString() const {
+  TextTable t({"K", "Sync", "Os", "Oe", "Cs", "Ce", "Kind"});
+  for (const AnnotatedRow& e : rows_) {
+    t.AddRow({StrCat("E", e.row.k), TimeToString(e.sync),
+              TimeToString(DomainStart(e.row, domain_)),
+              TimeToString(DomainEnd(e.row, domain_)),
+              TimeToString(e.row.cs), TimeToString(e.row.ce),
+              e.is_retraction ? "retract" : "insert"});
+  }
+  return t.ToString();
+}
+
+}  // namespace cedr

@@ -1,0 +1,69 @@
+// Annotated history tables and synchronization points (Section 4,
+// Definition 2).
+//
+// The Sync column induces a global notion of out-of-order arrival: a
+// stream has no out-of-order events iff sorting by Cs equals sorting by
+// <Sync, Cs>. A sync point (t0, T) cleanly separates past from future in
+// both occurrence time and CEDR time simultaneously: every row has either
+// Cs <= T and Sync <= t0, or Cs > T and Sync > t0.
+#ifndef CEDR_STREAM_SYNC_H_
+#define CEDR_STREAM_SYNC_H_
+
+#include <optional>
+
+#include "stream/history_table.h"
+
+namespace cedr {
+
+struct AnnotatedRow {
+  Event row;
+  /// Os for insertions, Oe for retractions (valid-domain analogues when
+  /// domain == kValid).
+  Time sync = 0;
+  bool is_retraction = false;
+};
+
+class AnnotatedTable {
+ public:
+  /// Annotates a history table: within each K group (ordered by Cs) the
+  /// first row is the insertion (Sync = domain start) and every later row
+  /// is a retraction (Sync = its reduced domain end).
+  static AnnotatedTable FromHistory(const HistoryTable& table,
+                                    TimeDomain domain = TimeDomain::kOccurrence);
+
+  const std::vector<AnnotatedRow>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Definition 2 test for the pair (t0, T).
+  bool IsSyncPoint(Time t0, Time T) const;
+
+  /// True iff sorting by Cs gives the same order as sorting by
+  /// <Sync, Cs> - the "no out-of-order events" criterion.
+  bool IsFullyOrdered() const;
+
+  /// All maximal sync points implied by the table: for each CEDR-time
+  /// prefix boundary T (a Cs value present in the table), the range of t0
+  /// for which (t0, T) is a sync point, if non-empty. Returned as pairs
+  /// (T, [t0_lo, t0_hi)) with t0 any value in the range.
+  struct SyncRange {
+    Time T;
+    Time t0_min;  // inclusive
+    Time t0_max;  // exclusive upper bound (kInfinity if unbounded)
+  };
+  std::vector<SyncRange> EnumerateSyncPoints() const;
+
+  /// Fraction of rows e for which (e.sync, e.cs) is a sync point - the
+  /// strong-consistency condition 2) of Definition 3, and our quantitative
+  /// orderliness measure for Figure 8.
+  double SyncPointDensity() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AnnotatedRow> rows_;  // sorted by Cs
+  TimeDomain domain_ = TimeDomain::kOccurrence;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_STREAM_SYNC_H_

@@ -1,0 +1,76 @@
+#include "workload/disorder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cedr {
+
+std::vector<Message> ApplyDisorder(const std::vector<Message>& ordered,
+                                   const DisorderConfig& config) {
+  Rng rng(config.seed);
+
+  struct Pending {
+    Message msg;
+    Time arrival;
+    size_t seq;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(ordered.size());
+
+  std::unordered_map<EventId, Time> insert_arrival;
+  size_t seq = 0;
+  for (const Message& m : ordered) {
+    if (m.kind == MessageKind::kCti) continue;  // regenerated below
+    Time delay = 0;
+    if (config.max_delay > 0 && rng.NextBool(config.disorder_fraction)) {
+      delay = rng.NextInt(1, config.max_delay);
+    }
+    Time arrival = TimeAdd(m.SyncTime(), delay);
+    if (m.kind == MessageKind::kRetract) {
+      // A correction cannot arrive before the event it corrects.
+      auto it = insert_arrival.find(m.event.id);
+      if (it != insert_arrival.end()) {
+        arrival = std::max(arrival, TimeAdd(it->second, 1));
+      }
+    } else {
+      Time& known = insert_arrival[m.event.id];
+      known = std::max(known, arrival);
+    }
+    pending.push_back(Pending{m, arrival, seq++});
+  }
+
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.seq < b.seq;
+            });
+
+  std::vector<Message> out;
+  out.reserve(pending.size() + pending.size() / 4 + 1);
+  Time next_cti = kMinTime;
+  for (const Pending& p : pending) {
+    if (config.cti_period > 0) {
+      if (next_cti == kMinTime) {
+        next_cti = TimeAdd(p.arrival, config.cti_period);
+      }
+      while (p.arrival >= next_cti) {
+        // Everything delayed by at most max_delay: by arrival time T all
+        // messages with sync < T - max_delay have arrived.
+        Time guarantee = TimeSub(next_cti, config.max_delay);
+        out.push_back(CtiOf(guarantee, next_cti));
+        next_cti = TimeAdd(next_cti, config.cti_period);
+      }
+    }
+    Message m = p.msg;
+    m.cs = p.arrival;
+    if (m.kind == MessageKind::kInsert) m.event.cs = p.arrival;
+    out.push_back(std::move(m));
+  }
+  if (config.cti_period > 0 && !pending.empty()) {
+    Time final_arrival = TimeAdd(pending.back().arrival, 1);
+    out.push_back(CtiOf(TimeSub(final_arrival, 0), final_arrival));
+  }
+  return out;
+}
+
+}  // namespace cedr

@@ -1,0 +1,34 @@
+// Disorder injection: turns an application-time-ordered stream into an
+// arrival stream with controlled out-of-orderness and provider-declared
+// sync points (CTIs) - the knobs of Figure 8's "orderliness" dimension.
+#ifndef CEDR_WORKLOAD_DISORDER_H_
+#define CEDR_WORKLOAD_DISORDER_H_
+
+#include "common/rng.h"
+#include "stream/message.h"
+
+namespace cedr {
+
+struct DisorderConfig {
+  /// Fraction of messages whose arrival is delayed.
+  double disorder_fraction = 0.0;
+  /// Maximum arrival delay (application-time units) of a delayed
+  /// message. The injected CTIs account for it, so the stream stays
+  /// well formed.
+  Duration max_delay = 0;
+  /// Emit a CTI every `cti_period` of arrival time; 0 disables CTIs.
+  Duration cti_period = 10;
+  uint64_t seed = 42;
+};
+
+/// Applies disorder. Input messages must be ordered by sync time and
+/// must not contain CTIs (they are regenerated). Retractions are kept
+/// after the insert they correct. Arrival (cs) timestamps equal the
+/// delayed application times, so blocking statistics are reported in
+/// application-time units.
+std::vector<Message> ApplyDisorder(const std::vector<Message>& ordered,
+                                   const DisorderConfig& config);
+
+}  // namespace cedr
+
+#endif  // CEDR_WORKLOAD_DISORDER_H_

@@ -1,0 +1,95 @@
+#include "workload/financial.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace cedr {
+namespace workload {
+
+SchemaPtr QuoteSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"Symbol", ValueType::kString},
+      {"Price", ValueType::kDouble},
+      {"Volume", ValueType::kInt64},
+  });
+  return kSchema;
+}
+
+SchemaPtr TradeSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"Trader", ValueType::kString},
+      {"Symbol", ValueType::kString},
+      {"Qty", ValueType::kInt64},
+      {"Price", ValueType::kDouble},
+  });
+  return kSchema;
+}
+
+std::vector<Message> GenerateQuotes(const FinancialConfig& config) {
+  Rng rng(config.seed);
+  std::vector<double> price(config.num_symbols, config.start_price);
+  // Last open quote per symbol (id and start time), for ttl == 0 mode.
+  struct Open {
+    EventId id = 0;
+    Time vs = 0;
+    Row payload;
+    bool live = false;
+  };
+  std::vector<Open> open(config.num_symbols);
+
+  std::vector<Message> out;
+  EventId next_id = 1;
+  Time t = 1;
+  for (int i = 0; i < config.num_quotes; ++i, t += config.quote_interval) {
+    int s = static_cast<int>(rng.NextBounded(config.num_symbols));
+    price[s] = std::max(1.0, price[s] + rng.NextGaussian(0, config.volatility));
+    Row payload(QuoteSchema(),
+                {Value(StrCat("SYM", s)), Value(price[s]),
+                 Value(rng.NextInt(1, 1000))});
+
+    if (config.quote_ttl == 0 && open[s].live) {
+      // Close the previous quote of this symbol at the new quote's time.
+      Event prev = MakeEvent(open[s].id, open[s].vs, kInfinity,
+                             open[s].payload);
+      out.push_back(RetractOf(prev, t, /*cs=*/0));
+    }
+
+    Time ve = config.quote_ttl == 0 ? kInfinity : TimeAdd(t, config.quote_ttl);
+    Event quote = MakeEvent(next_id++, t, ve, payload);
+    out.push_back(InsertOf(quote, /*cs=*/0));
+    open[s] = Open{quote.id, t, payload, true};
+
+    if (config.quote_ttl > 0 && config.revision_fraction > 0 &&
+        rng.NextBool(config.revision_fraction)) {
+      // Shorten this quote's validity (a provider correction).
+      Time shortened = TimeAdd(t, std::max<Duration>(1, config.quote_ttl / 2));
+      out.push_back(RetractOf(quote, shortened, /*cs=*/0));
+    }
+  }
+  return out;
+}
+
+std::vector<Message> GenerateTrades(const TradeConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Message> out;
+  EventId next_id = (1ULL << 40);
+  Time t = 1;
+  for (int i = 0; i < config.num_trades; ++i, t += config.trade_interval) {
+    int trader = static_cast<int>(rng.NextBounded(config.num_traders));
+    int symbol = static_cast<int>(rng.NextBounded(config.num_symbols));
+    Row payload(TradeSchema(),
+                {Value(StrCat("trader", trader)), Value(StrCat("SYM", symbol)),
+                 Value(rng.NextInt(-500, 500)),
+                 Value(50.0 + rng.NextDouble() * 100.0)});
+    Event trade = MakeEvent(next_id++, t, TimeAdd(t, 1), payload);
+    out.push_back(InsertOf(trade, /*cs=*/0));
+    if (rng.NextBool(config.bust_fraction)) {
+      out.push_back(RetractOf(trade, t, /*cs=*/0));  // busted trade
+    }
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace cedr

@@ -1,0 +1,57 @@
+// Financial-market workload (the paper's Section 1 motivating scenario):
+// stock quotes as a time-varying relation, trades, and portfolio
+// positions - used by the moving-average and compliance examples and by
+// the consistency benches.
+#ifndef CEDR_WORKLOAD_FINANCIAL_H_
+#define CEDR_WORKLOAD_FINANCIAL_H_
+
+#include "common/rng.h"
+#include "engine/source.h"
+
+namespace cedr {
+namespace workload {
+
+struct FinancialConfig {
+  int num_symbols = 8;
+  int num_quotes = 1000;
+  /// Application-time gap between consecutive quotes.
+  Duration quote_interval = 1;
+  /// Each quote is valid until the next quote of the same symbol (set
+  /// via retraction when ttl == 0) or for a fixed ttl.
+  Duration quote_ttl = 0;
+  /// Fraction of quotes later corrected (price revision via full
+  /// removal + reinsert is modeled upstream; here a lifetime shortening).
+  double revision_fraction = 0.0;
+  double start_price = 100.0;
+  double volatility = 0.5;
+  uint64_t seed = 7;
+};
+
+/// Schema: (Symbol: string, Price: double, Volume: int64).
+SchemaPtr QuoteSchema();
+
+/// Schema: (Trader: string, Symbol: string, Qty: int64, Price: double).
+SchemaPtr TradeSchema();
+
+/// Generates an application-time-ordered quote stream. Quotes with
+/// ttl == 0 get lifetime [t, next quote time of the same symbol), closed
+/// by a retraction of the optimistic [t, inf) insert - exercising the
+/// modification machinery the way a changing relation would.
+std::vector<Message> GenerateQuotes(const FinancialConfig& config);
+
+struct TradeConfig {
+  int num_traders = 4;
+  int num_symbols = 8;
+  int num_trades = 500;
+  Duration trade_interval = 2;
+  /// Fraction of trades that are later busted (fully retracted).
+  double bust_fraction = 0.02;
+  uint64_t seed = 11;
+};
+
+std::vector<Message> GenerateTrades(const TradeConfig& config);
+
+}  // namespace workload
+}  // namespace cedr
+
+#endif  // CEDR_WORKLOAD_FINANCIAL_H_

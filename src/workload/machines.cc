@@ -1,0 +1,104 @@
+#include "workload/machines.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace cedr {
+namespace workload {
+
+SchemaPtr MachineEventSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"Machine_Id", ValueType::kInt64},
+      {"Build", ValueType::kString},
+  });
+  return kSchema;
+}
+
+MachineStreams GenerateMachineEvents(const MachineConfig& config) {
+  Rng rng(config.seed);
+  MachineStreams out;
+  EventId next_id = 1;
+  Time t = 1;
+
+  struct Pending {
+    Time at;
+    Message msg;
+    int stream;  // 0 install, 1 shutdown, 2 restart
+  };
+  std::vector<Pending> events;
+
+  for (int i = 0; i < config.num_sessions; ++i, t += config.session_interval) {
+    int64_t machine = rng.NextInt(0, config.num_machines - 1);
+    Row payload(MachineEventSchema(),
+                {Value(machine), Value(StrCat("build", i % 7))});
+
+    Time install_at = t;
+    Time shutdown_at =
+        TimeAdd(install_at, rng.NextInt(1, config.max_session_length));
+    Event install = MakeEvent(next_id++, install_at, kInfinity, payload);
+    Event shutdown = MakeEvent(next_id++, shutdown_at, kInfinity, payload);
+    events.push_back(Pending{install_at, InsertOf(install), 0});
+    events.push_back(Pending{shutdown_at, InsertOf(shutdown), 1});
+
+    if (rng.NextBool(config.restart_fraction)) {
+      Time restart_at =
+          TimeAdd(shutdown_at, rng.NextInt(1, config.restart_scope - 1));
+      Event restart = MakeEvent(next_id++, restart_at, kInfinity, payload);
+      events.push_back(Pending{restart_at, InsertOf(restart), 2});
+    } else if (rng.NextBool(0.3)) {
+      // A late restart outside the scope: must not suppress the alert.
+      Time restart_at = TimeAdd(
+          shutdown_at, config.restart_scope + rng.NextInt(1, 3600));
+      Event restart = MakeEvent(next_id++, restart_at, kInfinity, payload);
+      events.push_back(Pending{restart_at, InsertOf(restart), 2});
+      ++out.expected_alerts;
+    } else {
+      ++out.expected_alerts;
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.at < b.at;
+                   });
+  for (const Pending& p : events) {
+    switch (p.stream) {
+      case 0:
+        out.installs.push_back(p.msg);
+        break;
+      case 1:
+        out.shutdowns.push_back(p.msg);
+        break;
+      default:
+        out.restarts.push_back(p.msg);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Cidr07ExampleQuery(Duration shutdown_scope_hours,
+                               Duration restart_scope_minutes) {
+  return StrCat(
+      "EVENT CIDR07_Example\n"
+      "WHEN UNLESS(SEQUENCE(INSTALL AS x, SHUTDOWN AS y, ",
+      shutdown_scope_hours,
+      " hours),\n"
+      "            RESTART AS z, ",
+      restart_scope_minutes,
+      " minutes)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id} AND\n"
+      "      {x.Machine_Id = z.Machine_Id}");
+}
+
+std::map<std::string, SchemaPtr> MachineCatalog() {
+  return {
+      {"INSTALL", MachineEventSchema()},
+      {"SHUTDOWN", MachineEventSchema()},
+      {"RESTART", MachineEventSchema()},
+  };
+}
+
+}  // namespace workload
+}  // namespace cedr

@@ -1,0 +1,55 @@
+// Machine-monitoring workload: the CIDR07_Example query of Section 3.1 -
+// INSTALL followed by SHUTDOWN within 12 hours, with no RESTART in the
+// next 5 minutes, correlated on Machine_Id.
+#ifndef CEDR_WORKLOAD_MACHINES_H_
+#define CEDR_WORKLOAD_MACHINES_H_
+
+#include <map>
+
+#include "common/rng.h"
+#include "engine/source.h"
+
+namespace cedr {
+namespace workload {
+
+struct MachineConfig {
+  int num_machines = 100;
+  int num_sessions = 1000;  // install/shutdown cycles to generate
+  /// Probability a shutdown is followed by a restart within the
+  /// negation scope (suppressing the pattern).
+  double restart_fraction = 0.5;
+  /// Time from install to shutdown: uniform in [1, max_session_length].
+  Duration max_session_length = 12 * 3600;
+  /// Negation scope (matches the query's 5 minutes by default).
+  Duration restart_scope = 5 * 60;
+  Duration session_interval = 60;  // gap between session starts
+  uint64_t seed = 13;
+};
+
+/// Schema: (Machine_Id: int64, Build: string).
+SchemaPtr MachineEventSchema();
+
+struct MachineStreams {
+  std::vector<Message> installs;
+  std::vector<Message> shutdowns;
+  std::vector<Message> restarts;
+  /// Workload property: number of generated sessions whose shutdown has
+  /// no restart within the scope. The query itself may additionally
+  /// match cross-session (install, shutdown) pairs of the same machine;
+  /// use the denotational oracle for exact ground truth.
+  size_t expected_alerts = 0;
+};
+
+MachineStreams GenerateMachineEvents(const MachineConfig& config);
+
+/// The query text of Section 3.1, parameterized by scope lengths.
+std::string Cidr07ExampleQuery(Duration shutdown_scope_hours = 12,
+                               Duration restart_scope_minutes = 5);
+
+/// Catalog for the machine-event types.
+std::map<std::string, SchemaPtr> MachineCatalog();
+
+}  // namespace workload
+}  // namespace cedr
+
+#endif  // CEDR_WORKLOAD_MACHINES_H_

@@ -1,0 +1,78 @@
+#include "workload/news.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace cedr {
+namespace workload {
+
+SchemaPtr NewsSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"Symbol", ValueType::kString},
+      {"Sentiment", ValueType::kInt64},
+  });
+  return kSchema;
+}
+
+SchemaPtr IndicatorSchema() {
+  static const SchemaPtr kSchema = Schema::Make({
+      {"Symbol", ValueType::kString},
+      {"Delta", ValueType::kDouble},
+  });
+  return kSchema;
+}
+
+NewsStreams GenerateNews(const NewsConfig& config) {
+  Rng rng(config.seed);
+  NewsStreams out;
+
+  struct Pending {
+    Time at;
+    Message msg;
+    bool is_news;
+  };
+  std::vector<Pending> events;
+
+  EventId next_id = 1;
+  Time t = 1;
+  for (int i = 0; i < config.num_news; ++i, t += config.news_interval) {
+    int symbol = static_cast<int>(rng.NextBounded(config.num_symbols));
+    int64_t sentiment = rng.NextInt(-1, 1);
+    Row news_payload(NewsSchema(),
+                     {Value(StrCat("SYM", symbol)), Value(sentiment)});
+    Event news = MakeEvent(next_id++, t, TimeAdd(t, config.follow_window),
+                           news_payload);
+    events.push_back(Pending{t, InsertOf(news), true});
+
+    if (rng.NextBool(config.follow_fraction)) {
+      Time move_at = TimeAdd(t, rng.NextInt(1, config.follow_window - 1));
+      double delta = static_cast<double>(sentiment) *
+                     (0.5 + rng.NextDouble() * 2.0);
+      Row move_payload(IndicatorSchema(),
+                       {Value(StrCat("SYM", symbol)), Value(delta)});
+      Event move = MakeEvent(next_id++, move_at, TimeAdd(move_at, 1),
+                             move_payload);
+      events.push_back(Pending{move_at, InsertOf(move), false});
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.at < b.at;
+                   });
+  for (const Pending& p : events) {
+    (p.is_news ? out.news : out.indicators).push_back(p.msg);
+  }
+  return out;
+}
+
+std::map<std::string, SchemaPtr> NewsCatalog() {
+  return {
+      {"NEWS", NewsSchema()},
+      {"INDICATOR", IndicatorSchema()},
+  };
+}
+
+}  // namespace workload
+}  // namespace cedr

@@ -1,0 +1,43 @@
+// News/market-sentiment workload (the paper's second motivating
+// application): news events correlated with market indicator moves,
+// where late-arriving items force retractions of published signals.
+#ifndef CEDR_WORKLOAD_NEWS_H_
+#define CEDR_WORKLOAD_NEWS_H_
+
+#include <map>
+
+#include "common/rng.h"
+#include "engine/source.h"
+
+namespace cedr {
+namespace workload {
+
+struct NewsConfig {
+  int num_symbols = 8;
+  int num_news = 400;
+  Duration news_interval = 5;
+  /// A market move follows a news item within this window with
+  /// probability `follow_fraction`.
+  double follow_fraction = 0.6;
+  Duration follow_window = 30;
+  uint64_t seed = 23;
+};
+
+/// Schema: (Symbol: string, Sentiment: int64)  [-1, 0, +1].
+SchemaPtr NewsSchema();
+/// Schema: (Symbol: string, Delta: double).
+SchemaPtr IndicatorSchema();
+
+struct NewsStreams {
+  std::vector<Message> news;
+  std::vector<Message> indicators;
+};
+
+NewsStreams GenerateNews(const NewsConfig& config);
+
+std::map<std::string, SchemaPtr> NewsCatalog();
+
+}  // namespace workload
+}  // namespace cedr
+
+#endif  // CEDR_WORKLOAD_NEWS_H_

@@ -1,0 +1,38 @@
+#include "common/format.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(42), "42");
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"ID", "Value"});
+  t.AddRow({"e0", "1"});
+  t.AddRow({"e10", "long-value"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| ID  | Value      |"), std::string::npos);
+  EXPECT_NE(out.find("| e10 | long-value |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/row.h"
+#include "common/schema.h"
+
+namespace cedr {
+namespace {
+
+SchemaPtr TwoFields() {
+  return Schema::Make({{"id", ValueType::kInt64},
+                       {"name", ValueType::kString}});
+}
+
+TEST(SchemaTest, FieldLookup) {
+  SchemaPtr s = TwoFields();
+  EXPECT_EQ(s->num_fields(), 2u);
+  EXPECT_EQ(s->FieldIndex("id").ValueOrDie(), 0u);
+  EXPECT_EQ(s->FieldIndex("name").ValueOrDie(), 1u);
+  EXPECT_FALSE(s->FieldIndex("missing").ok());
+  EXPECT_TRUE(s->HasField("id"));
+  EXPECT_FALSE(s->HasField("Id"));  // case sensitive
+}
+
+TEST(SchemaTest, Equals) {
+  EXPECT_TRUE(TwoFields()->Equals(*TwoFields()));
+  SchemaPtr other = Schema::Make({{"id", ValueType::kString},
+                                  {"name", ValueType::kString}});
+  EXPECT_FALSE(TwoFields()->Equals(*other));
+}
+
+TEST(SchemaTest, ConcatPrefixesCollidingNames) {
+  SchemaPtr joined = Schema::Concat(*TwoFields(), *TwoFields(), "r_");
+  EXPECT_EQ(joined->num_fields(), 4u);
+  EXPECT_EQ(joined->field(2).name, "r_id");
+  EXPECT_EQ(joined->field(3).name, "r_name");
+}
+
+TEST(SchemaTest, ConcatKeepsDistinctNames) {
+  SchemaPtr right = Schema::Make({{"price", ValueType::kDouble}});
+  SchemaPtr joined = Schema::Concat(*TwoFields(), *right, "r_");
+  EXPECT_EQ(joined->field(2).name, "price");
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TwoFields()->ToString(), "(id: int64, name: string)");
+}
+
+TEST(RowTest, GetByName) {
+  Row row(TwoFields(), {Value(7), Value("alice")});
+  EXPECT_EQ(row.Get("id").ValueOrDie(), Value(7));
+  EXPECT_EQ(row.Get("name").ValueOrDie(), Value("alice"));
+  EXPECT_FALSE(row.Get("missing").ok());
+}
+
+TEST(RowTest, GetWithoutSchemaFails) {
+  Row row;
+  EXPECT_FALSE(row.Get("x").ok());
+}
+
+TEST(RowTest, EqualityIgnoresSchemaPointer) {
+  Row a(TwoFields(), {Value(1), Value("x")});
+  Row b(TwoFields(), {Value(1), Value("x")});
+  EXPECT_EQ(a, b);
+  Row c(TwoFields(), {Value(2), Value("x")});
+  EXPECT_NE(a, c);
+}
+
+TEST(RowTest, Concat) {
+  SchemaPtr joined = Schema::Concat(*TwoFields(), *TwoFields(), "r_");
+  Row left(TwoFields(), {Value(1), Value("a")});
+  Row right(TwoFields(), {Value(2), Value("b")});
+  Row out = left.Concat(right, joined);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.Get("r_id").ValueOrDie(), Value(2));
+}
+
+TEST(RowTest, HashStable) {
+  Row a(TwoFields(), {Value(1), Value("x")});
+  Row b(TwoFields(), {Value(1), Value("x")});
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(RowTest, ToString) {
+  Row a(TwoFields(), {Value(1), Value("x")});
+  EXPECT_EQ(a.ToString(), "(1, 'x')");
+}
+
+}  // namespace
+}  // namespace cedr

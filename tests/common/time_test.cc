@@ -1,0 +1,74 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+TEST(TimeTest, AddSaturatesAtInfinity) {
+  EXPECT_EQ(TimeAdd(5, 3), 8);
+  EXPECT_EQ(TimeAdd(kInfinity, 1), kInfinity);
+  EXPECT_EQ(TimeAdd(1, kInfinity), kInfinity);
+  EXPECT_EQ(TimeAdd(kInfinity - 1, 5), kInfinity);
+  EXPECT_EQ(TimeAdd(kInfinity, kInfinity), kInfinity);
+}
+
+TEST(TimeTest, AddNegativeSaturatesAtMin) {
+  EXPECT_EQ(TimeAdd(5, -3), 2);
+  EXPECT_EQ(TimeAdd(kMinTime + 1, -5), kMinTime);
+}
+
+TEST(TimeTest, SubSaturates) {
+  EXPECT_EQ(TimeSub(10, 4), 6);
+  EXPECT_EQ(TimeSub(kInfinity, 100), kInfinity);  // inf - finite = inf
+  EXPECT_EQ(TimeSub(kMinTime + 1, 5), kMinTime);
+  EXPECT_EQ(TimeSub(5, -10), 15);
+}
+
+TEST(TimeTest, ToString) {
+  EXPECT_EQ(TimeToString(42), "42");
+  EXPECT_EQ(TimeToString(kInfinity), "inf");
+  EXPECT_EQ(TimeToString(kMinTime), "-inf");
+  EXPECT_EQ(TimeToString(-7), "-7");
+}
+
+TEST(IntervalTest, EmptyAndLength) {
+  EXPECT_TRUE((Interval{5, 5}).empty());
+  EXPECT_TRUE((Interval{7, 3}).empty());
+  EXPECT_FALSE((Interval{3, 7}).empty());
+  EXPECT_EQ((Interval{3, 7}).length(), 4);
+  EXPECT_EQ((Interval{3, kInfinity}).length(), kInfinity);
+  EXPECT_EQ((Interval{7, 3}).length(), 0);
+}
+
+TEST(IntervalTest, ContainsIsHalfOpen) {
+  Interval iv{2, 5};
+  EXPECT_FALSE(iv.Contains(1));
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(4));
+  EXPECT_FALSE(iv.Contains(5));
+}
+
+TEST(IntervalTest, Intersect) {
+  Interval a{1, 10};
+  Interval b{5, 15};
+  EXPECT_EQ(a.Intersect(b), (Interval{5, 10}));
+  EXPECT_TRUE(a.Intersect(Interval{10, 20}).empty());  // meeting, not
+                                                       // overlapping
+  EXPECT_EQ(a.Intersect(Interval{0, kInfinity}), a);
+}
+
+TEST(IntervalTest, OverlapsAndMeets) {
+  EXPECT_TRUE((Interval{1, 5}).Overlaps(Interval{4, 8}));
+  EXPECT_FALSE((Interval{1, 5}).Overlaps(Interval{5, 8}));
+  EXPECT_TRUE((Interval{1, 5}).Meets(Interval{5, 8}));
+  EXPECT_FALSE((Interval{5, 8}).Meets(Interval{1, 5}));  // directional
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ((Interval{1, kInfinity}).ToString(), "[1, inf)");
+  EXPECT_EQ((Interval{2, 9}).ToString(), "[2, 9)");
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,88 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(7).AsInt64(), 7);  // int promotes to int64
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(std::string("hi")).AsString(), "hi");
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_NE(Value(3), Value(4));
+  EXPECT_EQ(Value(), Value::Null());
+  // Cross-type: int64 and double never structurally equal.
+  EXPECT_NE(Value(3), Value(3.0));
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(ValueTest, CompareNumericAcrossTypes) {
+  EXPECT_EQ(Value(3).Compare(Value(3.0)).ValueOrDie(), 0);
+  EXPECT_EQ(Value(2).Compare(Value(3.5)).ValueOrDie(), -1);
+  EXPECT_EQ(Value(4.5).Compare(Value(4)).ValueOrDie(), 1);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_EQ(Value("abc").Compare(Value("abd")).ValueOrDie(), -1);
+  EXPECT_EQ(Value("b").Compare(Value("b")).ValueOrDie(), 0);
+}
+
+TEST(ValueTest, CompareErrors) {
+  EXPECT_FALSE(Value(3).Compare(Value("3")).ok());
+  EXPECT_FALSE(Value().Compare(Value(1)).ok());
+  EXPECT_FALSE(Value(true).Compare(Value(1)).ok());
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Value(3).ToDouble().ValueOrDie(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToDouble().ValueOrDie(), 2.5);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+}
+
+TEST(ValueTest, Arithmetic) {
+  EXPECT_EQ(ValueAdd(Value(2), Value(3)).ValueOrDie(), Value(5));
+  EXPECT_EQ(ValueAdd(Value(2), Value(3)).ValueOrDie().type(),
+            ValueType::kInt64);
+  EXPECT_EQ(ValueAdd(Value(2.0), Value(3)).ValueOrDie().type(),
+            ValueType::kDouble);
+  EXPECT_EQ(ValueAdd(Value("a"), Value("b")).ValueOrDie(), Value("ab"));
+  EXPECT_EQ(ValueSub(Value(5), Value(2)).ValueOrDie(), Value(3));
+  EXPECT_EQ(ValueMul(Value(4), Value(3)).ValueOrDie(), Value(12));
+  EXPECT_DOUBLE_EQ(ValueDiv(Value(7), Value(2)).ValueOrDie().AsDouble(), 3.5);
+  EXPECT_FALSE(ValueDiv(Value(1), Value(0)).ok());
+  EXPECT_FALSE(ValueAdd(Value(1), Value("x")).ok());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(42).Hash(), Value(42).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value(1).Hash(), Value(2).Hash());
+  // Different types with "same" content hash differently.
+  EXPECT_NE(Value(1).Hash(), Value(true).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(17).ToString(), "17");
+  EXPECT_EQ(Value("s").ToString(), "'s'");
+}
+
+TEST(ValueTest, OrderingForSorting) {
+  // Total order groups by type index first.
+  EXPECT_LT(Value(false), Value(true));
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,174 @@
+// RepairableOutput: the generalized remove-and-reinsert repair protocol.
+#include "consistency/retraction.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace cedr {
+namespace {
+
+using testing::KV;
+
+struct Recorder {
+  std::vector<Event> inserts;
+  std::vector<std::pair<Event, Time>> retracts;
+
+  RepairableOutput::EmitInsertFn insert_fn() {
+    return [this](Event e) { inserts.push_back(std::move(e)); };
+  }
+  RepairableOutput::EmitRetractFn retract_fn() {
+    return [this](const Event& e, Time t) { retracts.emplace_back(e, t); };
+  }
+};
+
+Event Frag(Time vs, Time ve, int64_t value = 1) {
+  Event e;
+  e.vs = vs;
+  e.ve = ve;
+  e.payload = KV(0, value);
+  return e;
+}
+
+TEST(RepairableOutputTest, FirstReconcileEmitsEverything) {
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 5), Frag(8, 12, 2)}, kMinTime,
+                   rec.insert_fn(), rec.retract_fn());
+  ASSERT_EQ(rec.inserts.size(), 2u);
+  EXPECT_TRUE(rec.retracts.empty());
+  EXPECT_EQ(output.StateSize(), 2u);
+}
+
+TEST(RepairableOutputTest, UnchangedFragmentsEmitNothing) {
+  RepairableOutput output;
+  Recorder rec;
+  std::vector<Event> correct = {Frag(1, 5)};
+  output.Reconcile({Value(0)}, correct, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  rec.inserts.clear();
+  output.Reconcile({Value(0)}, correct, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  EXPECT_TRUE(rec.inserts.empty());
+  EXPECT_TRUE(rec.retracts.empty());
+}
+
+TEST(RepairableOutputTest, ShrunkEndIsARetraction) {
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 10)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  output.Reconcile({Value(0)}, {Frag(1, 6)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  ASSERT_EQ(rec.retracts.size(), 1u);
+  EXPECT_EQ(rec.retracts[0].second, 6);
+}
+
+TEST(RepairableOutputTest, GrownEndIsAnAdjacentInsert) {
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 6)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  rec.inserts.clear();
+  output.Reconcile({Value(0)}, {Frag(1, 10)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  // View-update-compliant consumers coalesce [1,6)+[6,10).
+  ASSERT_EQ(rec.inserts.size(), 1u);
+  EXPECT_EQ(rec.inserts[0].valid(), (Interval{6, 10}));
+  EXPECT_TRUE(rec.retracts.empty());
+}
+
+TEST(RepairableOutputTest, WrongPrefixIsRemoveAndReinsert) {
+  // Emitted [1, 10); the correct fragment is [4, 10): retractions only
+  // shrink ends, so the old event is fully retracted and a replacement
+  // inserted - Section 4's protocol.
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 10)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  rec.inserts.clear();
+  output.Reconcile({Value(0)}, {Frag(4, 10)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  ASSERT_EQ(rec.retracts.size(), 1u);
+  EXPECT_EQ(rec.retracts[0].second, 1);  // full removal (clamped at vs)
+  ASSERT_EQ(rec.inserts.size(), 1u);
+  EXPECT_EQ(rec.inserts[0].valid(), (Interval{4, 10}));
+  EXPECT_NE(rec.inserts[0].id, rec.retracts[0].first.id);  // fresh id
+}
+
+TEST(RepairableOutputTest, PayloadChangeReplacesEvent) {
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 10, 1)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  rec.inserts.clear();
+  output.Reconcile({Value(0)}, {Frag(1, 10, 2)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  ASSERT_EQ(rec.retracts.size(), 1u);
+  ASSERT_EQ(rec.inserts.size(), 1u);
+  EXPECT_EQ(rec.inserts[0].payload.at(1), Value(2));
+}
+
+TEST(RepairableOutputTest, FrontierFreezesThePast) {
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 10)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  rec.inserts.clear();
+  // The correct set no longer mentions [1, 10), but everything before 6
+  // is final: only the tail may be retracted.
+  output.Reconcile({Value(0)}, {}, /*frontier=*/6, rec.insert_fn(),
+                   rec.retract_fn());
+  ASSERT_EQ(rec.retracts.size(), 1u);
+  EXPECT_EQ(rec.retracts[0].second, 6);
+}
+
+TEST(RepairableOutputTest, FrontierDoesNotResurrectThePast) {
+  RepairableOutput output;
+  Recorder rec;
+  // Correct fragment extends into the frozen region: only the part at
+  // or after the frontier is emitted.
+  output.Reconcile({Value(0)}, {Frag(1, 10)}, /*frontier=*/5,
+                   rec.insert_fn(), rec.retract_fn());
+  ASSERT_EQ(rec.inserts.size(), 1u);
+  EXPECT_EQ(rec.inserts[0].valid(), (Interval{5, 10}));
+}
+
+TEST(RepairableOutputTest, GroupsAreIndependent) {
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 5)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  output.Reconcile({Value(1)}, {Frag(2, 8)}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  rec.inserts.clear();
+  // Emptying group 1 must not touch group 0.
+  output.Reconcile({Value(1)}, {}, kMinTime, rec.insert_fn(),
+                   rec.retract_fn());
+  ASSERT_EQ(rec.retracts.size(), 1u);
+  EXPECT_EQ(rec.retracts[0].first.valid(), (Interval{2, 8}));
+  EXPECT_EQ(output.StateSize(), 1u);
+}
+
+TEST(RepairableOutputTest, TrimForgetsFinishedEvents) {
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 5), Frag(8, 12)}, kMinTime,
+                   rec.insert_fn(), rec.retract_fn());
+  output.Trim(6);
+  EXPECT_EQ(output.StateSize(), 1u);
+  output.Trim(20);
+  EXPECT_EQ(output.StateSize(), 0u);
+}
+
+TEST(RepairableOutputTest, FreshInsertIdsAreDistinct) {
+  RepairableOutput output;
+  Recorder rec;
+  output.Reconcile({Value(0)}, {Frag(1, 5), Frag(7, 9)}, kMinTime,
+                   rec.insert_fn(), rec.retract_fn());
+  ASSERT_EQ(rec.inserts.size(), 2u);
+  EXPECT_NE(rec.inserts[0].id, rec.inserts[1].id);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,313 @@
+// Definitions 7-12: denotational semantics of the view-update operators,
+// including view-update-compliance properties (Definition 11) and the
+// AlterLifetime-derived window constructs.
+#include "denotation/relational.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/coalesce.h"
+#include "testing/helpers.h"
+
+namespace cedr {
+namespace denotation {
+namespace {
+
+using testing::KV;
+using testing::KeyValueSchema;
+
+EventList TwoEvents() {
+  return {MakeEvent(1, 1, 5, KV(1, 10)), MakeEvent(2, 4, 9, KV(2, 20))};
+}
+
+TEST(ProjectTest, TransformsPayloadOnly) {
+  EventList out = Project(TwoEvents(), [](const Row& r) {
+    return Row(nullptr, {r.at(1)});
+  });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].valid(), (Interval{1, 5}));  // timestamps untouched
+  EXPECT_EQ(out[0].payload.at(0), Value(10));
+  EXPECT_EQ(out[1].payload.at(0), Value(20));
+}
+
+TEST(SelectTest, FiltersByPayload) {
+  EventList out = Select(TwoEvents(), [](const Row& r) {
+    return r.at(0) == Value(1);
+  });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1u);
+}
+
+TEST(JoinTest, LifetimeIsIntersection) {
+  EventList left = {MakeEvent(1, 1, 5, KV(1, 10))};
+  EventList right = {MakeEvent(2, 3, 9, KV(1, 30))};
+  EventList out = Join(left, right,
+                       [](const Row& l, const Row& r) {
+                         return l.at(0) == r.at(0);
+                       },
+                       nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid(), (Interval{3, 5}));  // max start, min end
+  EXPECT_EQ(out[0].payload.size(), 4u);         // concatenated
+  EXPECT_EQ(out[0].cbt.size(), 2u);             // lineage
+}
+
+TEST(JoinTest, DisjointLifetimesDoNotJoin) {
+  EventList left = {MakeEvent(1, 1, 3, KV(1, 10))};
+  EventList right = {MakeEvent(2, 3, 9, KV(1, 30))};
+  EXPECT_TRUE(Join(left, right,
+                   [](const Row&, const Row&) { return true; }, nullptr)
+                  .empty());
+}
+
+TEST(JoinTest, ThetaFilters) {
+  EventList left = {MakeEvent(1, 1, 5, KV(1, 10))};
+  EventList right = {MakeEvent(2, 1, 5, KV(2, 30))};
+  EXPECT_TRUE(Join(left, right,
+                   [](const Row& l, const Row& r) {
+                     return l.at(0) == r.at(0);
+                   },
+                   nullptr)
+                  .empty());
+}
+
+TEST(UnionTest, SetSemantics) {
+  EventList left = {MakeEvent(1, 1, 6, KV(1, 10))};
+  EventList right = {MakeEvent(2, 4, 9, KV(1, 10))};
+  EventList out = Union(left, right);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid(), (Interval{1, 9}));
+}
+
+TEST(UnionTest, KeepsDistinctPayloads) {
+  EventList left = {MakeEvent(1, 1, 6, KV(1, 10))};
+  EventList right = {MakeEvent(2, 4, 9, KV(2, 10))};
+  EXPECT_EQ(Union(left, right).size(), 2u);
+}
+
+TEST(DifferenceTest, SubtractsLifetimes) {
+  EventList left = {MakeEvent(1, 1, 10, KV(1, 10))};
+  EventList right = {MakeEvent(2, 4, 6, KV(1, 10))};
+  EventList out = Difference(left, right);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].valid(), (Interval{1, 4}));
+  EXPECT_EQ(out[1].valid(), (Interval{6, 10}));
+}
+
+TEST(DifferenceTest, PayloadMismatchSubtractsNothing) {
+  EventList left = {MakeEvent(1, 1, 10, KV(1, 10))};
+  EventList right = {MakeEvent(2, 4, 6, KV(2, 10))};
+  EventList out = Difference(left, right);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid(), (Interval{1, 10}));
+}
+
+SchemaPtr CountSchema() {
+  return Schema::Make({{"key", ValueType::kInt64},
+                       {"count", ValueType::kInt64}});
+}
+
+TEST(GroupByTest, SnapshotCountSemantics) {
+  // Two overlapping events of one group: count is 1, then 2, then 1.
+  EventList input = {MakeEvent(1, 1, 10, KV(1, 5)),
+                     MakeEvent(2, 4, 6, KV(1, 7))};
+  EventList out = GroupByAggregate(
+      input, {"key"}, {AggregateSpec{AggregateKind::kCount, "", "count"}},
+      CountSchema());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].valid(), (Interval{1, 4}));
+  EXPECT_EQ(out[0].payload.at(1), Value(1));
+  EXPECT_EQ(out[1].valid(), (Interval{4, 6}));
+  EXPECT_EQ(out[1].payload.at(1), Value(2));
+  EXPECT_EQ(out[2].valid(), (Interval{6, 10}));
+  EXPECT_EQ(out[2].payload.at(1), Value(1));
+}
+
+TEST(GroupByTest, CoalescesConstantSegments) {
+  // Back-to-back events with the same count produce one fragment.
+  EventList input = {MakeEvent(1, 1, 5, KV(1, 5)),
+                     MakeEvent(2, 5, 9, KV(1, 7))};
+  EventList out = GroupByAggregate(
+      input, {"key"}, {AggregateSpec{AggregateKind::kCount, "", "count"}},
+      CountSchema());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid(), (Interval{1, 9}));
+}
+
+TEST(GroupByTest, SumAvgMinMax) {
+  SchemaPtr schema = Schema::Make({{"key", ValueType::kInt64},
+                                   {"sum", ValueType::kInt64},
+                                   {"avg", ValueType::kDouble},
+                                   {"min", ValueType::kInt64},
+                                   {"max", ValueType::kInt64}});
+  EventList input = {MakeEvent(1, 0, 10, KV(1, 4)),
+                     MakeEvent(2, 0, 10, KV(1, 8))};
+  EventList out = GroupByAggregate(
+      input, {"key"},
+      {AggregateSpec{AggregateKind::kSum, "value", "sum"},
+       AggregateSpec{AggregateKind::kAvg, "value", "avg"},
+       AggregateSpec{AggregateKind::kMin, "value", "min"},
+       AggregateSpec{AggregateKind::kMax, "value", "max"}},
+      schema);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload.at(1), Value(12));
+  EXPECT_DOUBLE_EQ(out[0].payload.at(2).AsDouble(), 6.0);
+  EXPECT_EQ(out[0].payload.at(3), Value(4));
+  EXPECT_EQ(out[0].payload.at(4), Value(8));
+}
+
+TEST(GroupByTest, EmptyGroupsProduceNoOutput) {
+  EXPECT_TRUE(GroupByAggregate({}, {"key"},
+                               {AggregateSpec{AggregateKind::kCount, "",
+                                              "count"}},
+                               CountSchema())
+                  .empty());
+}
+
+TEST(AlterLifetimeTest, Definition12) {
+  EventList input = {MakeEvent(1, 3, 8, KV(1, 1))};
+  EventList out = AlterLifetime(
+      input, [](const Event& e) { return e.vs * 2; },
+      [](const Event&) { return Duration{4}; });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid(), (Interval{6, 10}));
+}
+
+TEST(AlterLifetimeTest, AbsoluteValuesApplied) {
+  EventList input = {MakeEvent(1, 3, 8, KV(1, 1))};
+  EventList out = AlterLifetime(
+      input, [](const Event&) { return Time{-5}; },
+      [](const Event&) { return Duration{-2}; });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid(), (Interval{5, 7}));
+}
+
+TEST(WindowTest, ClipsLongLifetimes) {
+  EventList input = {MakeEvent(1, 0, 100, KV(1, 1)),
+                     MakeEvent(2, 10, 12, KV(1, 2))};
+  EventList out = SlidingWindow(input, 5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].valid(), (Interval{0, 5}));
+  EXPECT_EQ(out[1].valid(), (Interval{10, 12}));  // shorter than wl
+}
+
+TEST(WindowTest, InfiniteLifetimeClipped) {
+  EventList input = {MakeEvent(1, 7, kInfinity, KV(1, 1))};
+  EventList out = SlidingWindow(input, 3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid(), (Interval{7, 10}));
+}
+
+TEST(HoppingWindowTest, SnapsToPeriodBoundaries) {
+  EventList input = {MakeEvent(1, 7, 8, KV(1, 1)),
+                     MakeEvent(2, 13, 14, KV(1, 2))};
+  EventList out = HoppingWindow(input, /*wl=*/10, /*period=*/5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].valid(), (Interval{5, 15}));
+  EXPECT_EQ(out[1].valid(), (Interval{10, 20}));
+}
+
+TEST(InsertsDeletesTest, SeparateInsertAndDeleteStreams) {
+  EventList input = {MakeEvent(1, 2, 9, KV(1, 1))};
+  EventList ins = Inserts(input);
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0].valid(), (Interval{2, kInfinity}));
+  EventList del = Deletes(input);
+  ASSERT_EQ(del.size(), 1u);
+  EXPECT_EQ(del[0].valid(), (Interval{9, kInfinity}));
+}
+
+TEST(InsertsDeletesTest, InfiniteLifetimeNeverDeletes) {
+  EventList input = {MakeEvent(1, 2, kInfinity, KV(1, 1))};
+  EXPECT_TRUE(Deletes(input).empty());
+  EXPECT_EQ(Inserts(input).size(), 1u);
+}
+
+// ---- View update compliance properties (Definition 11) ----
+// O is compliant iff *(O(R)) == *(O(S)) whenever *(R) == *(S): chopping
+// lifetimes into adjacent fragments must not change the result.
+
+class ComplianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ComplianceTest, SelectIsCompliant) {
+  Rng rng(GetParam());
+  EventList events;
+  for (int i = 0; i < 30; ++i) {
+    Time vs = rng.NextInt(0, 50);
+    events.push_back(MakeEvent(i + 1, vs, vs + rng.NextInt(1, 20),
+                               KV(rng.NextInt(0, 3), rng.NextInt(0, 5))));
+  }
+  EventList chopped = testing::RechopLifetimes(events, &rng);
+  auto pred = [](const Row& r) { return r.at(1).AsInt64() > 2; };
+  EXPECT_TRUE(StarEqual(Select(events, pred), Select(chopped, pred)));
+}
+
+TEST_P(ComplianceTest, JoinIsCompliant) {
+  Rng rng(GetParam() + 1000);
+  EventList left, right;
+  for (int i = 0; i < 15; ++i) {
+    Time vs = rng.NextInt(0, 40);
+    left.push_back(MakeEvent(i + 1, vs, vs + rng.NextInt(1, 15),
+                             KV(rng.NextInt(0, 3), 1)));
+    Time vs2 = rng.NextInt(0, 40);
+    right.push_back(MakeEvent(i + 100, vs2, vs2 + rng.NextInt(1, 15),
+                              KV(rng.NextInt(0, 3), 2)));
+  }
+  EventList chopped = testing::RechopLifetimes(left, &rng);
+  auto theta = [](const Row& l, const Row& r) { return l.at(0) == r.at(0); };
+  EventList a = Join(left, right, theta, nullptr);
+  EventList b = Join(chopped, right, theta, nullptr);
+  EXPECT_TRUE(StarEqual(a, b));
+}
+
+TEST_P(ComplianceTest, GroupByIsCompliant) {
+  Rng rng(GetParam() + 2000);
+  EventList events;
+  for (int i = 0; i < 20; ++i) {
+    Time vs = rng.NextInt(0, 30);
+    events.push_back(MakeEvent(i + 1, vs, vs + rng.NextInt(1, 10),
+                               KV(rng.NextInt(0, 2), rng.NextInt(0, 5))));
+  }
+  EventList chopped = testing::RechopLifetimes(events, &rng);
+  auto run = [](const EventList& input) {
+    return GroupByAggregate(
+        input, {"key"}, {AggregateSpec{AggregateKind::kCount, "", "count"}},
+        Schema::Make({{"key", ValueType::kInt64},
+                      {"count", ValueType::kInt64}}));
+  };
+  EXPECT_TRUE(StarEqual(run(events), run(chopped)));
+}
+
+TEST_P(ComplianceTest, DifferenceIsCompliant) {
+  Rng rng(GetParam() + 3000);
+  EventList left, right;
+  for (int i = 0; i < 15; ++i) {
+    Time vs = rng.NextInt(0, 30);
+    left.push_back(MakeEvent(i + 1, vs, vs + rng.NextInt(1, 12),
+                             KV(rng.NextInt(0, 2), 1)));
+    Time vs2 = rng.NextInt(0, 30);
+    right.push_back(MakeEvent(i + 100, vs2, vs2 + rng.NextInt(1, 12),
+                              KV(rng.NextInt(0, 2), 1)));
+  }
+  EventList chopped = testing::RechopLifetimes(left, &rng);
+  EXPECT_TRUE(
+      StarEqual(Difference(left, right), Difference(chopped, right)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComplianceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ComplianceTest, AlterLifetimeIsNotCompliant) {
+  // The paper's one non-compliant operator: windows observe lifetime
+  // packaging. [0, 10) clipped to 5 differs from [0,5)+[5,10) clipped.
+  EventList whole = {MakeEvent(1, 0, 10, KV(1, 1))};
+  EventList chopped = {MakeEvent(1, 0, 5, KV(1, 1)),
+                       MakeEvent(2, 5, 10, KV(1, 1))};
+  EXPECT_TRUE(StarEqual(whole, chopped));  // same relation
+  EventList a = SlidingWindow(whole, 5);
+  EventList b = SlidingWindow(chopped, 5);
+  EXPECT_FALSE(StarEqual(a, b));  // but different windows
+}
+
+}  // namespace
+}  // namespace denotation
+}  // namespace cedr

@@ -1,0 +1,78 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/source.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+TEST(StreamBuilderTest, StampsMonotoneArrival) {
+  StreamBuilder builder;
+  builder.Insert(1, 5, 10).Cti(4).Insert(2, 7, 12);
+  std::vector<Message> stream = std::move(builder).Build();
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_EQ(stream[0].cs, 1);
+  EXPECT_EQ(stream[1].cs, 2);
+  EXPECT_EQ(stream[2].cs, 3);
+  EXPECT_EQ(stream[0].event.cs, 1);
+}
+
+TEST(StreamBuilderTest, RetractCarriesOriginal) {
+  StreamBuilder builder;
+  Event e = MakeEvent(1, 5, 100);
+  builder.Insert(e).Retract(e, 50);
+  auto stream = std::move(builder).Build();
+  EXPECT_EQ(stream[1].kind, MessageKind::kRetract);
+  EXPECT_EQ(stream[1].new_ve, 50);
+  EXPECT_EQ(stream[1].event.id, 1u);
+}
+
+TEST(MergeByArrivalTest, OrdersByCsStable) {
+  LabeledStream a{"A", {CtiOf(1, 5), CtiOf(2, 9)}};
+  LabeledStream b{"B", {CtiOf(3, 5), CtiOf(4, 7)}};
+  auto merged = MergeByArrival({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].first, "A");   // cs 5, stream A first (stable)
+  EXPECT_EQ(merged[1].first, "B");   // cs 5
+  EXPECT_EQ(merged[2].first, "B");   // cs 7
+  EXPECT_EQ(merged[3].first, "A");   // cs 9
+}
+
+TEST(ExecutorTest, FansOutToMultipleQueries) {
+  std::string text =
+      "EVENT Q WHEN SEQUENCE(INSTALL, SHUTDOWN, 40)";
+  auto q1 = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                   ConsistencySpec::Middle())
+                .ValueOrDie();
+  auto q2 = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                   ConsistencySpec::Strong())
+                .ValueOrDie();
+  Executor executor;
+  executor.Register(q1.get());
+  executor.Register(q2.get());
+
+  Row payload(workload::MachineEventSchema(), {Value(1), Value("b")});
+  LabeledStream installs{
+      "INSTALL", {InsertOf(MakeEvent(1, 1, kInfinity, payload), 1)}};
+  LabeledStream shutdowns{
+      "SHUTDOWN", {InsertOf(MakeEvent(2, 5, kInfinity, payload), 5)}};
+  ASSERT_TRUE(executor.Run({installs, shutdowns}).ok());
+  EXPECT_EQ(q1->sink().Ideal().size(), 1u);
+  EXPECT_EQ(q2->sink().Ideal().size(), 1u);
+}
+
+TEST(ExecutorTest, EmptyRunFinishesCleanly) {
+  auto query = CompiledQuery::Compile(
+                   "EVENT Q WHEN SEQUENCE(INSTALL, SHUTDOWN, 40)",
+                   workload::MachineCatalog(), ConsistencySpec::Strong())
+                   .ValueOrDie();
+  Executor executor;
+  executor.Register(query.get());
+  ASSERT_TRUE(executor.Run({}).ok());
+  EXPECT_TRUE(query->sink().Ideal().empty());
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,212 @@
+// End-to-end compiled queries: the Section 3.1 example against the
+// denotational oracle, across consistency levels and disorder.
+#include "engine/query.h"
+
+#include <gtest/gtest.h>
+
+#include "denotation/patterns.h"
+#include "engine/executor.h"
+#include "testing/helpers.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+using denotation::StarEqual;
+
+EventList EventsOf(const std::vector<Message>& stream) {
+  EventList out;
+  for (const Message& m : stream) {
+    if (m.kind == MessageKind::kInsert) out.push_back(m.event);
+  }
+  return out;
+}
+
+/// The denotational oracle for the CIDR07 query.
+EventList Cidr07Oracle(const workload::MachineStreams& streams,
+                       Duration seq_scope, Duration neg_scope) {
+  EventList seq = denotation::Sequence(
+      {EventsOf(streams.installs), EventsOf(streams.shutdowns)}, seq_scope,
+      [](const std::vector<const Event*>& tuple) {
+        if (tuple.size() < 2) return true;
+        return tuple[0]->payload.at(0) == tuple[1]->payload.at(0);
+      });
+  return denotation::Unless(
+      seq, EventsOf(streams.restarts), neg_scope,
+      [](const std::vector<const Event*>& tuple, const Event& z) {
+        return tuple[0]->payload.at(0) == z.payload.at(0);
+      });
+}
+
+workload::MachineConfig SmallConfig() {
+  workload::MachineConfig config;
+  config.num_machines = 5;
+  config.num_sessions = 60;
+  config.max_session_length = 40;
+  config.restart_scope = 10;
+  config.session_interval = 7;
+  return config;
+}
+
+std::string SmallQuery() {
+  // Scopes in ticks to match SmallConfig.
+  return "EVENT Q\n"
+         "WHEN UNLESS(SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40),\n"
+         "            RESTART AS z, 10)\n"
+         "WHERE {x.Machine_Id = y.Machine_Id} AND\n"
+         "      {x.Machine_Id = z.Machine_Id}";
+}
+
+TEST(CompiledQueryTest, Cidr07MatchesOracleInOrder) {
+  workload::MachineStreams streams =
+      workload::GenerateMachineEvents(SmallConfig());
+  auto query = CompiledQuery::Compile(SmallQuery(),
+                                      workload::MachineCatalog(),
+                                      ConsistencySpec::Middle())
+                   .ValueOrDie();
+  Executor executor;
+  executor.Register(query.get());
+  // Assign interleaved arrival times in application order.
+  auto stamp = [](std::vector<Message> msgs) {
+    for (Message& m : msgs) {
+      m.cs = m.SyncTime();
+      if (m.kind == MessageKind::kInsert) m.event.cs = m.cs;
+    }
+    return msgs;
+  };
+  ASSERT_TRUE(executor
+                  .Run({{"INSTALL", stamp(streams.installs)},
+                        {"SHUTDOWN", stamp(streams.shutdowns)},
+                        {"RESTART", stamp(streams.restarts)}})
+                  .ok());
+  EventList expected = Cidr07Oracle(streams, 40, 10);
+  EXPECT_FALSE(expected.empty());
+  EXPECT_TRUE(StarEqual(query->sink().Ideal(), expected))
+      << "got " << query->sink().Ideal().size() << " want "
+      << expected.size();
+}
+
+class Cidr07DisorderTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(Cidr07DisorderTest, ConvergesAcrossLevelsUnderDisorder) {
+  auto [seed, level] = GetParam();
+  workload::MachineConfig config = SmallConfig();
+  config.seed = seed;
+  workload::MachineStreams streams =
+      workload::GenerateMachineEvents(config);
+
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = 0.4;
+  dconfig.max_delay = 8;
+  dconfig.cti_period = 15;
+  dconfig.seed = seed * 31;
+  std::vector<Message> installs = ApplyDisorder(streams.installs, dconfig);
+  dconfig.seed = seed * 31 + 1;
+  std::vector<Message> shutdowns = ApplyDisorder(streams.shutdowns, dconfig);
+  dconfig.seed = seed * 31 + 2;
+  std::vector<Message> restarts = ApplyDisorder(streams.restarts, dconfig);
+
+  ConsistencySpec spec = level == 0   ? ConsistencySpec::Strong()
+                         : level == 1 ? ConsistencySpec::Middle()
+                                      : ConsistencySpec::Custom(5, kInfinity);
+  auto query = CompiledQuery::Compile(SmallQuery(),
+                                      workload::MachineCatalog(), spec)
+                   .ValueOrDie();
+  Executor executor;
+  executor.Register(query.get());
+  ASSERT_TRUE(executor
+                  .Run({{"INSTALL", installs},
+                        {"SHUTDOWN", shutdowns},
+                        {"RESTART", restarts}})
+                  .ok());
+  EventList expected = Cidr07Oracle(streams, 40, 10);
+  EXPECT_TRUE(StarEqual(query->sink().Ideal(), expected))
+      << "spec " << spec.ToString() << ": got "
+      << query->sink().Ideal().size() << " want " << expected.size();
+  if (spec.IsStrong()) {
+    EXPECT_EQ(query->sink().retracts(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Cidr07DisorderTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(CompiledQueryTest, OutputProjection) {
+  std::string text =
+      "EVENT Q\n"
+      "WHEN SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id}\n"
+      "OUTPUT x.Machine_Id AS machine, y.Build";
+  auto query = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                      ConsistencySpec::Middle())
+                   .ValueOrDie();
+  Row payload(workload::MachineEventSchema(), {Value(7), Value("b1")});
+  ASSERT_TRUE(query->Push("INSTALL",
+                          InsertOf(MakeEvent(1, 1, kInfinity, payload), 1))
+                  .ok());
+  ASSERT_TRUE(query->Push("SHUTDOWN",
+                          InsertOf(MakeEvent(2, 5, kInfinity, payload), 5))
+                  .ok());
+  ASSERT_TRUE(query->Finish().ok());
+  EventList out = query->sink().Ideal();
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].payload.size(), 2u);
+  EXPECT_EQ(out[0].payload.at(0), Value(7));
+  EXPECT_EQ(out[0].payload.at(1), Value("b1"));
+  EXPECT_EQ(out[0].payload.Get("machine").ValueOrDie(), Value(7));
+}
+
+TEST(CompiledQueryTest, ValidSliceClipsOutput) {
+  std::string text =
+      "EVENT Q WHEN SEQUENCE(INSTALL, SHUTDOWN, 40) #[0, 20)";
+  auto query = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                      ConsistencySpec::Middle())
+                   .ValueOrDie();
+  Row payload(workload::MachineEventSchema(), {Value(7), Value("b")});
+  ASSERT_TRUE(query->Push("INSTALL",
+                          InsertOf(MakeEvent(1, 1, kInfinity, payload), 1))
+                  .ok());
+  ASSERT_TRUE(query->Push("SHUTDOWN",
+                          InsertOf(MakeEvent(2, 5, kInfinity, payload), 5))
+                  .ok());
+  ASSERT_TRUE(query->Finish().ok());
+  EventList out = query->sink().Ideal();
+  ASSERT_EQ(out.size(), 1u);
+  // Composite lifetime [5, 1+40) clipped to [5, 20).
+  EXPECT_EQ(out[0].valid(), (Interval{5, 20}));
+}
+
+TEST(CompiledQueryTest, UnknownTypeIgnored) {
+  auto query = CompiledQuery::Compile(SmallQuery(),
+                                      workload::MachineCatalog(),
+                                      ConsistencySpec::Middle())
+                   .ValueOrDie();
+  EXPECT_TRUE(query->Push("UNRELATED", CtiOf(1, 1)).ok());
+}
+
+TEST(CompiledQueryTest, PushAfterFinishFails) {
+  auto query = CompiledQuery::Compile(SmallQuery(),
+                                      workload::MachineCatalog(),
+                                      ConsistencySpec::Middle())
+                   .ValueOrDie();
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_FALSE(query->Push("INSTALL", CtiOf(1, 1)).ok());
+}
+
+TEST(CompiledQueryTest, StatsExposePerOperator) {
+  auto query = CompiledQuery::Compile(SmallQuery(),
+                                      workload::MachineCatalog(),
+                                      ConsistencySpec::Strong())
+                   .ValueOrDie();
+  ASSERT_TRUE(query->Finish().ok());
+  QueryStats stats = query->Stats();
+  EXPECT_GE(stats.per_operator.size(), 2u);  // sequence + unless
+  EXPECT_EQ(query->InputTypes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,137 @@
+#include "engine/service.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+SchemaPtr MachineSchema() { return workload::MachineEventSchema(); }
+
+Row Payload(int64_t machine) {
+  return Row(MachineSchema(), {Value(machine), Value("b")});
+}
+
+CedrService MakeService() {
+  CedrService service;
+  EXPECT_TRUE(service.RegisterEventType("INSTALL", MachineSchema()).ok());
+  EXPECT_TRUE(service.RegisterEventType("SHUTDOWN", MachineSchema()).ok());
+  EXPECT_TRUE(service.RegisterEventType("RESTART", MachineSchema()).ok());
+  return service;
+}
+
+TEST(ServiceTest, TypeRegistrationIdempotentButConsistent) {
+  CedrService service = MakeService();
+  EXPECT_TRUE(service.RegisterEventType("INSTALL", MachineSchema()).ok());
+  SchemaPtr other = Schema::Make({{"x", ValueType::kInt64}});
+  EXPECT_EQ(service.RegisterEventType("INSTALL", other).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(service.RegisterEventType("NULLSCHEMA", nullptr).ok());
+}
+
+TEST(ServiceTest, QueriesNeedKnownTypes) {
+  CedrService service;
+  auto r = service.RegisterQuery("EVENT Q WHEN SEQUENCE(A, B, 10)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(ServiceTest, DuplicateQueryNamesRejected) {
+  CedrService service = MakeService();
+  std::string text = "EVENT Q WHEN SEQUENCE(INSTALL, SHUTDOWN, 40)";
+  ASSERT_TRUE(service.RegisterQuery(text).ok());
+  EXPECT_EQ(service.RegisterQuery(text).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(service.UnregisterQuery("Q").ok());
+  EXPECT_TRUE(service.RegisterQuery(text).ok());
+  EXPECT_FALSE(service.UnregisterQuery("ZZZ").ok());
+}
+
+TEST(ServiceTest, EndToEndRoutingAndResults) {
+  CedrService service = MakeService();
+  ASSERT_TRUE(service
+                  .RegisterQuery(
+                      "EVENT Pair WHEN SEQUENCE(INSTALL AS x, SHUTDOWN AS "
+                      "y, 40) WHERE {x.Machine_Id = y.Machine_Id}",
+                      ConsistencySpec::Middle())
+                  .ok());
+  ASSERT_TRUE(service
+                  .RegisterQuery(
+                      "EVENT Alert WHEN UNLESS(SEQUENCE(INSTALL AS x, "
+                      "SHUTDOWN AS y, 40), RESTART AS z, 10) WHERE "
+                      "CorrelationKey(Machine_Id, EQUAL)",
+                      ConsistencySpec::Middle())
+                  .ok());
+  EXPECT_EQ(service.QueryNames().size(), 2u);
+
+  ASSERT_TRUE(service.Publish("INSTALL", MakeEvent(1, 2, kInfinity,
+                                                   Payload(7)))
+                  .ok());
+  ASSERT_TRUE(service.Publish("SHUTDOWN", MakeEvent(2, 20, kInfinity,
+                                                    Payload(7)))
+                  .ok());
+  ASSERT_TRUE(service.Publish("RESTART", MakeEvent(3, 25, kInfinity,
+                                                   Payload(7)))
+                  .ok());
+  ASSERT_TRUE(service.Finish().ok());
+
+  const CompiledQuery* pair = service.GetQuery("Pair").ValueOrDie();
+  EXPECT_EQ(pair->sink().Ideal().size(), 1u);
+  const CompiledQuery* alert = service.GetQuery("Alert").ValueOrDie();
+  EXPECT_TRUE(alert->sink().Ideal().empty());  // restart suppressed it
+}
+
+TEST(ServiceTest, PublishValidation) {
+  CedrService service = MakeService();
+  EXPECT_EQ(service.Publish("NOPE", MakeEvent(1, 1, 2)).code(),
+            StatusCode::kNotFound);
+  // Wrong payload schema.
+  Row wrong(Schema::Make({{"z", ValueType::kBool}}), {Value(true)});
+  EXPECT_EQ(service.Publish("INSTALL", MakeEvent(1, 1, 2, wrong)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, RetractionValidation) {
+  CedrService service = MakeService();
+  Event e = MakeEvent(1, 2, 10, Payload(7));
+  ASSERT_TRUE(service.Publish("INSTALL", e).ok());
+  EXPECT_FALSE(service.PublishRetraction("INSTALL", e, 12).ok());
+  EXPECT_TRUE(service.PublishRetraction("INSTALL", e, 5).ok());
+}
+
+TEST(ServiceTest, SyncPointsDriveBlockingQueries) {
+  CedrService service = MakeService();
+  ASSERT_TRUE(service
+                  .RegisterQuery(
+                      "EVENT Strong WHEN SEQUENCE(INSTALL AS x, SHUTDOWN "
+                      "AS y, 40) WHERE {x.Machine_Id = y.Machine_Id} "
+                      "CONSISTENCY STRONG")
+                  .ok());
+  ASSERT_TRUE(service.Publish("INSTALL", MakeEvent(1, 2, kInfinity,
+                                                   Payload(7)))
+                  .ok());
+  ASSERT_TRUE(service.Publish("SHUTDOWN", MakeEvent(2, 5, kInfinity,
+                                                    Payload(7)))
+                  .ok());
+  const CompiledQuery* q = service.GetQuery("Strong").ValueOrDie();
+  EXPECT_TRUE(q->sink().Ideal().empty());  // still blocked
+  ASSERT_TRUE(service.PublishSyncPoint("INSTALL", 50).ok());
+  ASSERT_TRUE(service.PublishSyncPoint("SHUTDOWN", 50).ok());
+  ASSERT_TRUE(service.PublishSyncPoint("RESTART", 50).ok());
+  EXPECT_EQ(q->sink().inserts(), 1u);  // released by the guarantees
+  ASSERT_TRUE(service.Finish().ok());
+}
+
+TEST(ServiceTest, FinishIsTerminal) {
+  CedrService service = MakeService();
+  ASSERT_TRUE(service.Finish().ok());
+  EXPECT_FALSE(service.Publish("INSTALL", MakeEvent(1, 1, 2,
+                                                    Payload(1)))
+                   .ok());
+  EXPECT_FALSE(service.RegisterQuery("EVENT Q WHEN ANY(INSTALL)").ok());
+  EXPECT_TRUE(service.Finish().ok());  // idempotent
+}
+
+}  // namespace
+}  // namespace cedr

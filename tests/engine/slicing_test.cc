@@ -1,0 +1,111 @@
+// Temporal slicing (Section 3.2): the @ (occurrence-time) and #
+// (valid-time) output customizations, denotationally and end to end.
+#include <gtest/gtest.h>
+
+#include "denotation/patterns.h"
+#include "denotation/relational.h"
+#include "engine/query.h"
+#include "testing/helpers.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+using denotation::StarEqual;
+using testing::KV;
+
+TEST(SliceDenotationTest, ValidSliceClips) {
+  EventList input = {MakeEvent(1, 1, 10, KV(0, 1)),
+                     MakeEvent(2, 12, 20, KV(0, 2))};
+  EventList out = denotation::SliceValid(input, {5, 15});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].valid(), (Interval{5, 10}));
+  EXPECT_EQ(out[1].valid(), (Interval{12, 15}));
+  EXPECT_TRUE(denotation::SliceValid(input, {25, 30}).empty());
+}
+
+TEST(SliceDenotationTest, OccurrenceSliceFilters) {
+  Event a = MakeBitemporalEvent(1, 1, 10, /*os=*/2, /*oe=*/5, KV(0, 1));
+  Event b = MakeBitemporalEvent(2, 1, 10, /*os=*/8, /*oe=*/9, KV(0, 2));
+  EventList out = denotation::SliceOccurrence({a, b}, {4, 7});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1u);
+  // Filtering does not alter the event.
+  EXPECT_EQ(out[0].valid(), (Interval{1, 10}));
+}
+
+Row Machine(int64_t id) {
+  return Row(workload::MachineEventSchema(), {Value(id), Value("b")});
+}
+
+TEST(SliceEndToEndTest, ValidSliceThroughCompiledQuery) {
+  std::string text =
+      "EVENT Q WHEN SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id} #[0, 25)";
+  auto query = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                      ConsistencySpec::Middle())
+                   .ValueOrDie();
+  ASSERT_TRUE(query->Push("INSTALL", InsertOf(MakeEvent(1, 2, kInfinity,
+                                                        Machine(1)), 2))
+                  .ok());
+  ASSERT_TRUE(query->Push("SHUTDOWN", InsertOf(MakeEvent(2, 20, kInfinity,
+                                                         Machine(1)), 20))
+                  .ok());
+  ASSERT_TRUE(query->Finish().ok());
+  EventList out = query->sink().Ideal();
+  ASSERT_EQ(out.size(), 1u);
+  // Composite [20, 42) clipped to [20, 25).
+  EXPECT_EQ(out[0].valid(), (Interval{20, 25}));
+}
+
+TEST(SliceEndToEndTest, OccurrenceSliceThroughCompiledQuery) {
+  // The composite's occurrence start is its last contributor's; a slice
+  // that excludes it suppresses the output entirely.
+  std::string in_range =
+      "EVENT Q WHEN SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id} @[15, 30)";
+  std::string out_of_range =
+      "EVENT Q WHEN SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id} @[0, 10)";
+  for (const auto& [text, expected] :
+       {std::pair<std::string, size_t>{in_range, 1},
+        std::pair<std::string, size_t>{out_of_range, 0}}) {
+    auto query = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                        ConsistencySpec::Middle())
+                     .ValueOrDie();
+    ASSERT_TRUE(query->Push("INSTALL", InsertOf(MakeEvent(1, 2, kInfinity,
+                                                          Machine(1)), 2))
+                    .ok());
+    ASSERT_TRUE(query->Push("SHUTDOWN",
+                            InsertOf(MakeEvent(2, 20, kInfinity,
+                                               Machine(1)), 20))
+                    .ok());
+    ASSERT_TRUE(query->Finish().ok());
+    EXPECT_EQ(query->sink().Ideal().size(), expected) << text;
+  }
+}
+
+TEST(SliceEndToEndTest, SliceWithRetractionRepair) {
+  // A sliced output must still shrink when the underlying match is
+  // repaired away.
+  std::string text =
+      "EVENT Q WHEN SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id} #[0, 25)";
+  auto query = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                      ConsistencySpec::Middle())
+                   .ValueOrDie();
+  Event install = MakeEvent(1, 2, kInfinity, Machine(1));
+  ASSERT_TRUE(query->Push("INSTALL", InsertOf(install, 2)).ok());
+  ASSERT_TRUE(query->Push("SHUTDOWN", InsertOf(MakeEvent(2, 20, kInfinity,
+                                                         Machine(1)), 20))
+                  .ok());
+  // The install is busted: the sliced composite must vanish.
+  ASSERT_TRUE(
+      query->Push("INSTALL", RetractOf(install, install.vs, 30)).ok());
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_TRUE(query->sink().Ideal().empty());
+  EXPECT_GE(query->sink().retracts(), 1u);
+}
+
+}  // namespace
+}  // namespace cedr

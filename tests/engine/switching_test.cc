@@ -1,0 +1,203 @@
+// Runtime consistency switching: the Section 5 seamless-switching
+// property, exercised.
+#include "engine/switching.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "denotation/patterns.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+std::string QueryText() {
+  return "EVENT Switcher\n"
+         "WHEN UNLESS(SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40),\n"
+         "            RESTART AS z, 10)\n"
+         "WHERE CorrelationKey(Machine_Id, EQUAL)";
+}
+
+struct Feed {
+  std::vector<std::pair<std::string, Message>> merged;
+  workload::MachineStreams streams;
+};
+
+Feed MakeFeed(uint64_t seed, bool disordered) {
+  workload::MachineConfig config;
+  config.num_machines = 6;
+  config.num_sessions = 150;
+  config.max_session_length = 40;
+  config.restart_scope = 10;
+  config.session_interval = 6;
+  config.seed = seed;
+  Feed feed;
+  feed.streams = workload::GenerateMachineEvents(config);
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = disordered ? 0.4 : 0.0;
+  dconfig.max_delay = disordered ? 10 : 0;
+  dconfig.cti_period = 12;
+  dconfig.seed = seed * 3;
+  std::vector<LabeledStream> streams = {
+      {"INSTALL", ApplyDisorder(feed.streams.installs, dconfig)},
+      {"SHUTDOWN", ApplyDisorder(feed.streams.shutdowns, dconfig)},
+      {"RESTART", ApplyDisorder(feed.streams.restarts, dconfig)}};
+  feed.merged = MergeByArrival(streams);
+  return feed;
+}
+
+EventList PureRun(const Feed& feed, ConsistencySpec spec) {
+  auto query = CompiledQuery::Compile(QueryText(),
+                                      workload::MachineCatalog(), spec)
+                   .ValueOrDie();
+  for (const auto& [type, msg] : feed.merged) {
+    EXPECT_TRUE(query->Push(type, msg).ok());
+  }
+  EXPECT_TRUE(query->Finish().ok());
+  return query->sink().Ideal();
+}
+
+TEST(SwitchingTest, MidStreamSwitchConvergesToPureRuns) {
+  Feed feed = MakeFeed(3, /*disordered=*/true);
+  EventList pure_strong = PureRun(feed, ConsistencySpec::Strong());
+  EventList pure_middle = PureRun(feed, ConsistencySpec::Middle());
+  ASSERT_TRUE(denotation::StarEqual(pure_strong, pure_middle));
+
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Middle())
+                   .ValueOrDie();
+  size_t half = feed.merged.size() / 2;
+  for (size_t i = 0; i < feed.merged.size(); ++i) {
+    if (i == half) {
+      ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Strong()).ok());
+    }
+    ASSERT_TRUE(query->Push(feed.merged[i].first, feed.merged[i].second)
+                    .ok());
+  }
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_EQ(query->switches(), 1);
+  EXPECT_TRUE(query->current_spec().IsStrong());
+  EXPECT_TRUE(denotation::StarEqual(query->Ideal(), pure_strong))
+      << "spliced run diverged from the pure runs";
+}
+
+TEST(SwitchingTest, MultipleSwitchesStillConverge) {
+  Feed feed = MakeFeed(5, /*disordered=*/true);
+  EventList expected = PureRun(feed, ConsistencySpec::Middle());
+
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Strong())
+                   .ValueOrDie();
+  size_t third = feed.merged.size() / 3;
+  for (size_t i = 0; i < feed.merged.size(); ++i) {
+    if (i == third) {
+      ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Middle()).ok());
+    }
+    if (i == 2 * third) {
+      ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Strong()).ok());
+    }
+    ASSERT_TRUE(query->Push(feed.merged[i].first, feed.merged[i].second)
+                    .ok());
+  }
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_EQ(query->switches(), 2);
+  EXPECT_TRUE(denotation::StarEqual(query->Ideal(), expected));
+}
+
+TEST(SwitchingTest, SwitchToSameSpecIsNoOp) {
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Middle())
+                   .ValueOrDie();
+  ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Middle()).ok());
+  EXPECT_EQ(query->switches(), 0);
+}
+
+TEST(SwitchingTest, SplicedStreamIsWellFormed) {
+  // Retractions emitted after the switch must reference inserts emitted
+  // before it (determinism of generated ids makes this hold).
+  Feed feed = MakeFeed(7, /*disordered=*/true);
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Middle())
+                   .ValueOrDie();
+  size_t half = feed.merged.size() / 2;
+  for (size_t i = 0; i < feed.merged.size(); ++i) {
+    if (i == half) {
+      ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Weak(30)).ok());
+    }
+    ASSERT_TRUE(query->Push(feed.merged[i].first, feed.merged[i].second)
+                    .ok());
+  }
+  ASSERT_TRUE(query->Finish().ok());
+
+  // Every retraction in the spliced stream matches a preceding insert.
+  std::set<EventId> seen;
+  size_t unmatched = 0;
+  for (const Message& m : query->OutputMessages()) {
+    if (m.kind == MessageKind::kInsert) seen.insert(m.event.id);
+    if (m.kind == MessageKind::kRetract && seen.count(m.event.id) == 0) {
+      ++unmatched;
+    }
+  }
+  EXPECT_EQ(unmatched, 0u);
+}
+
+TEST(LoadPolicyTest, RecommendsOverloadSpecUnderPressure) {
+  LoadPolicy policy;
+  policy.max_state = 100;
+  policy.max_buffer = 50;
+  policy.preferred = ConsistencySpec::Strong();
+  policy.overload = ConsistencySpec::Weak(10);
+
+  QueryStats calm;
+  calm.max_state_size = 10;
+  calm.max_buffer_size = 5;
+  EXPECT_TRUE(policy.Recommend(calm).IsStrong());
+
+  QueryStats loaded;
+  loaded.max_state_size = 500;
+  EXPECT_TRUE(policy.Recommend(loaded).IsWeak());
+
+  QueryStats buffered;
+  buffered.max_buffer_size = 51;
+  EXPECT_TRUE(policy.Recommend(buffered).IsWeak());
+}
+
+TEST(SwitchingTest, AdaptiveLoopWithPolicy) {
+  // Drive the adaptive loop: check the policy at every 100 messages and
+  // switch when the recommendation changes. The converged answer is
+  // unaffected when memory stays infinite.
+  Feed feed = MakeFeed(9, /*disordered=*/true);
+  EventList expected = PureRun(feed, ConsistencySpec::Middle());
+
+  LoadPolicy policy;
+  policy.max_buffer = 10;  // aggressive: strong will trip it
+  policy.preferred = ConsistencySpec::Strong();
+  policy.overload = ConsistencySpec::Middle();
+
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Strong())
+                   .ValueOrDie();
+  for (size_t i = 0; i < feed.merged.size(); ++i) {
+    if (i % 100 == 99) {
+      ConsistencySpec want = policy.Recommend(query->Stats());
+      if (!(want == query->current_spec())) {
+        ASSERT_TRUE(query->SwitchTo(want).ok());
+      }
+    }
+    ASSERT_TRUE(query->Push(feed.merged[i].first, feed.merged[i].second)
+                    .ok());
+  }
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_GE(query->switches(), 1);
+  EXPECT_TRUE(denotation::StarEqual(query->Ideal(), expected));
+}
+
+}  // namespace
+}  // namespace cedr

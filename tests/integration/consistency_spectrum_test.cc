@@ -1,0 +1,131 @@
+// Integration: the Figure 8 / Figure 9 claims as testable assertions on
+// a realistic workload driven through compiled queries.
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+struct RunOutcome {
+  uint64_t output_size = 0;
+  uint64_t retracts = 0;
+  uint64_t lost = 0;
+  size_t state = 0;
+  size_t buffer = 0;
+  double mean_blocking = 0;
+  EventList ideal;
+};
+
+std::string SmallQuery() {
+  return "EVENT Q\n"
+         "WHEN UNLESS(SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40),\n"
+         "            RESTART AS z, 10)\n"
+         "WHERE CorrelationKey(Machine_Id, EQUAL)";
+}
+
+RunOutcome RunSweep(const workload::MachineStreams& streams,
+               ConsistencySpec spec, bool disordered, uint64_t seed) {
+  auto prepare = [&](const std::vector<Message>& stream,
+                     uint64_t s) -> std::vector<Message> {
+    DisorderConfig config;
+    config.disorder_fraction = disordered ? 0.5 : 0.0;
+    config.max_delay = disordered ? 12 : 0;
+    config.cti_period = disordered ? 20 : 5;
+    config.seed = s;
+    return ApplyDisorder(stream, config);
+  };
+  auto query = CompiledQuery::Compile(SmallQuery(),
+                                      workload::MachineCatalog(), spec)
+                   .ValueOrDie();
+  Executor executor;
+  executor.Register(query.get());
+  Status st = executor.Run({{"INSTALL", prepare(streams.installs, seed)},
+                            {"SHUTDOWN", prepare(streams.shutdowns, seed + 1)},
+                            {"RESTART", prepare(streams.restarts, seed + 2)}});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  QueryStats stats = query->Stats();
+  RunOutcome outcome;
+  outcome.output_size = query->sink().OutputSize();
+  outcome.retracts = query->sink().retracts();
+  outcome.lost = stats.lost_corrections;
+  outcome.state = stats.max_state_size;
+  outcome.buffer = stats.max_buffer_size;
+  outcome.mean_blocking = stats.MeanBlocking();
+  outcome.ideal = query->sink().Ideal();
+  return outcome;
+}
+
+workload::MachineStreams Workload(uint64_t seed) {
+  workload::MachineConfig config;
+  config.num_machines = 6;
+  config.num_sessions = 150;
+  config.max_session_length = 40;
+  config.restart_scope = 10;
+  config.session_interval = 6;
+  config.seed = seed;
+  return workload::GenerateMachineEvents(config);
+}
+
+TEST(ConsistencySpectrumTest, Figure8OrderedColumn) {
+  // Ordered input: all levels equally correct, strong adds only
+  // marginal cost ("the strong level of consistency may be enforced
+  // with marginal added cost" - Section 5).
+  workload::MachineStreams streams = Workload(5);
+  RunOutcome strong = RunSweep(streams, ConsistencySpec::Strong(), false, 1);
+  RunOutcome middle = RunSweep(streams, ConsistencySpec::Middle(), false, 1);
+  EXPECT_TRUE(denotation::StarEqual(strong.ideal, middle.ideal));
+  EXPECT_EQ(strong.retracts, 0u);
+  // Middle pays for zero blocking with optimistic negation output that
+  // in-scope restarts later repair, even on ordered input.
+  EXPECT_LE(middle.mean_blocking, strong.mean_blocking);
+}
+
+TEST(ConsistencySpectrumTest, Figure8DisorderedColumn) {
+  workload::MachineStreams streams = Workload(6);
+  RunOutcome strong = RunSweep(streams, ConsistencySpec::Strong(), true, 11);
+  RunOutcome middle = RunSweep(streams, ConsistencySpec::Middle(), true, 11);
+  RunOutcome weak = RunSweep(streams, ConsistencySpec::Weak(4), true, 11);
+
+  // Strong: high blocking, minimal output, no retractions.
+  EXPECT_EQ(strong.retracts, 0u);
+  EXPECT_GT(strong.mean_blocking, middle.mean_blocking);
+  // Middle: non-blocking, larger output (optimism + repair).
+  EXPECT_GT(middle.retracts, 0u);
+  EXPECT_GT(middle.output_size, strong.output_size);
+  // Strong and middle converge to the same answer.
+  EXPECT_TRUE(denotation::StarEqual(strong.ideal, middle.ideal));
+  // Weak: loses corrections, holds less state than middle.
+  EXPECT_GT(weak.lost, 0u);
+  EXPECT_LE(weak.state, middle.state);
+}
+
+TEST(ConsistencySpectrumTest, Figure9BlockingBeyondMemoryHasNoEffect) {
+  workload::MachineStreams streams = Workload(7);
+  RunOutcome at_diagonal =
+      RunSweep(streams, ConsistencySpec::Custom(15, 15), true, 21);
+  RunOutcome beyond =
+      RunSweep(streams, ConsistencySpec::Custom(500, 15), true, 21);
+  EXPECT_EQ(at_diagonal.output_size, beyond.output_size);
+  EXPECT_EQ(at_diagonal.retracts, beyond.retracts);
+  EXPECT_EQ(at_diagonal.lost, beyond.lost);
+  EXPECT_TRUE(denotation::StarEqual(at_diagonal.ideal, beyond.ideal));
+}
+
+TEST(ConsistencySpectrumTest, Figure9MonotoneAlongMemoryAxis) {
+  // More memory, same blocking: never more lost corrections.
+  workload::MachineStreams streams = Workload(8);
+  RunOutcome m0 = RunSweep(streams, ConsistencySpec::Custom(0, 0), true, 31);
+  RunOutcome m10 = RunSweep(streams, ConsistencySpec::Custom(0, 10), true, 31);
+  RunOutcome minf =
+      RunSweep(streams, ConsistencySpec::Custom(0, kInfinity), true, 31);
+  EXPECT_GE(m0.lost, m10.lost);
+  EXPECT_GE(m10.lost, minf.lost);
+  EXPECT_EQ(minf.lost, 0u);
+}
+
+}  // namespace
+}  // namespace cedr

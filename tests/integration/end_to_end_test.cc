@@ -1,0 +1,135 @@
+// Integration: the paper's Section 1 application scenarios end to end -
+// a financial moving aggregate over a changing quote relation, and the
+// news/market correlation pattern with retraction of published signals.
+#include <gtest/gtest.h>
+
+#include "denotation/relational.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/alter_lifetime.h"
+#include "testing/helpers.h"
+#include "workload/disorder.h"
+#include "workload/financial.h"
+#include "workload/news.h"
+
+namespace cedr {
+namespace {
+
+using denotation::StarEqual;
+using testing::RunUnary;
+
+SchemaPtr AvgSchema() {
+  return Schema::Make({{"Symbol", ValueType::kString},
+                       {"avg_price", ValueType::kDouble}});
+}
+
+TEST(FinancialPipelineTest, MovingAverageConvergesAcrossLevels) {
+  // Window the quotes, then average price per symbol - the trader
+  // dashboard query ("does not require perfect accuracy": weak or
+  // middle), checked against the denotational answer.
+  workload::FinancialConfig config;
+  config.num_symbols = 3;
+  config.num_quotes = 150;
+  config.quote_ttl = 8;  // fixed-lifetime quotes
+  std::vector<Message> quotes = workload::GenerateQuotes(config);
+
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = 0.4;
+  dconfig.max_delay = 6;
+  dconfig.cti_period = 10;
+  std::vector<Message> disordered = ApplyDisorder(quotes, dconfig);
+
+  std::vector<AggregateSpec> aggs = {
+      AggregateSpec{AggregateKind::kAvg, "Price", "avg_price"}};
+  EventList expected = denotation::GroupByAggregate(
+      denotation::IdealOf(quotes), {"Symbol"}, aggs, AvgSchema());
+
+  for (ConsistencySpec spec :
+       {ConsistencySpec::Strong(), ConsistencySpec::Middle()}) {
+    GroupByAggregateOp op({"Symbol"}, aggs, AvgSchema(), spec);
+    auto result = RunUnary(&op, disordered);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_TRUE(StarEqual(result.Ideal(), expected))
+        << "spec " << spec.ToString();
+  }
+}
+
+TEST(FinancialPipelineTest, WindowedCountPipeline) {
+  // Window -> count: two chained operators with retraction flow between
+  // them.
+  workload::FinancialConfig config;
+  config.num_symbols = 2;
+  config.num_quotes = 80;
+  config.quote_ttl = 0;  // open lifetimes closed by retractions
+  std::vector<Message> quotes = workload::GenerateQuotes(config);
+  for (Message& m : quotes) {
+    m.cs = m.SyncTime();
+    if (m.kind == MessageKind::kInsert) m.event.cs = m.cs;
+  }
+
+  SchemaPtr schema = Schema::Make({{"Symbol", ValueType::kString},
+                                   {"n", ValueType::kInt64}});
+  std::vector<AggregateSpec> aggs = {
+      AggregateSpec{AggregateKind::kCount, "", "n"}};
+
+  auto window = MakeSlidingWindowOp(5, ConsistencySpec::Middle());
+  GroupByAggregateOp count({"Symbol"}, aggs, schema,
+                           ConsistencySpec::Middle());
+  CollectingSink sink;
+  window->ConnectTo(&count, 0);
+  count.ConnectTo(&sink, 0);
+  ASSERT_TRUE(testing::FeedPort(window.get(), 0, quotes).ok());
+
+  EventList expected = denotation::GroupByAggregate(
+      denotation::SlidingWindow(denotation::IdealOf(quotes), 5), {"Symbol"},
+      aggs, schema);
+  EXPECT_TRUE(StarEqual(sink.Ideal(), expected));
+}
+
+TEST(NewsPipelineTest, CorrelationJoinWithRetractions) {
+  // NEWS joined with INDICATOR on symbol while the news is "fresh" -
+  // the market-sentiment application. Late indicators under middle
+  // consistency yield signals that may be retracted.
+  workload::NewsConfig config;
+  config.num_news = 120;
+  workload::NewsStreams streams = workload::GenerateNews(config);
+
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = 0.5;
+  dconfig.max_delay = 10;
+  dconfig.cti_period = 15;
+  std::vector<Message> news = ApplyDisorder(streams.news, dconfig);
+  dconfig.seed = 99;
+  std::vector<Message> indicators =
+      ApplyDisorder(streams.indicators, dconfig);
+
+  auto theta = [](const Row& n, const Row& i) {
+    auto ns = n.Get("Symbol");
+    auto is = i.Get("Symbol");
+    return ns.ok() && is.ok() && ns.ValueOrDie() == is.ValueOrDie();
+  };
+  SchemaPtr joined = Schema::Concat(*workload::NewsSchema(),
+                                    *workload::IndicatorSchema(), "i_");
+
+  EventList expected =
+      denotation::Join(denotation::IdealOf(streams.news),
+                       denotation::IdealOf(streams.indicators), theta,
+                       joined);
+
+  JoinOp strong(theta, joined, ConsistencySpec::Strong());
+  auto strong_result = testing::RunBinary(&strong, news, indicators);
+  ASSERT_TRUE(strong_result.status.ok());
+  EXPECT_TRUE(StarEqual(strong_result.Ideal(), expected));
+  EXPECT_EQ(strong_result.retracts(), 0u);
+
+  JoinOp middle(theta, joined, ConsistencySpec::Middle());
+  auto middle_result = testing::RunBinary(&middle, news, indicators);
+  ASSERT_TRUE(middle_result.status.ok());
+  EXPECT_TRUE(StarEqual(middle_result.Ideal(), expected));
+  // The middle signals are available with less blocking.
+  EXPECT_LE(middle.stats().alignment.total_blocking_cs,
+            strong.stats().alignment.total_blocking_cs);
+}
+
+}  // namespace
+}  // namespace cedr

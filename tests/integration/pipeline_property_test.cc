@@ -1,0 +1,147 @@
+// Property tests over composed operator pipelines: chained runtime
+// operators under disorder must converge to the composed denotational
+// semantics (well-behavedness composes).
+#include <gtest/gtest.h>
+
+#include "denotation/relational.h"
+#include "ops/alter_lifetime.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/select.h"
+#include "testing/helpers.h"
+#include "workload/disorder.h"
+
+namespace cedr {
+namespace {
+
+using denotation::StarEqual;
+using testing::KV;
+
+class PipelinePropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {
+ protected:
+  ConsistencySpec Spec() const {
+    return std::get<1>(GetParam()) == 0 ? ConsistencySpec::Strong()
+                                        : ConsistencySpec::Middle();
+  }
+  uint64_t Seed() const { return std::get<0>(GetParam()); }
+};
+
+std::vector<Message> Disordered(const std::vector<Message>& ordered,
+                                uint64_t seed) {
+  DisorderConfig config;
+  config.disorder_fraction = 0.45;
+  config.max_delay = 12;
+  config.cti_period = 9;
+  config.seed = seed;
+  return ApplyDisorder(ordered, config);
+}
+
+TEST_P(PipelinePropertyTest, WindowThenGroupBy) {
+  Rng rng(Seed());
+  std::vector<Message> ordered =
+      testing::RandomStream(&rng, 70, 50, 3, /*retract_fraction=*/0.15);
+  std::vector<Message> disordered = Disordered(ordered, Seed() + 1);
+
+  SchemaPtr schema = Schema::Make(
+      {{"key", ValueType::kInt64}, {"count", ValueType::kInt64}});
+  std::vector<AggregateSpec> aggs = {
+      AggregateSpec{AggregateKind::kCount, "", "count"}};
+
+  auto window = MakeSlidingWindowOp(7, Spec());
+  GroupByAggregateOp count({"key"}, aggs, schema, Spec());
+  CollectingSink sink;
+  window->ConnectTo(&count, 0);
+  count.ConnectTo(&sink, 0);
+  ASSERT_TRUE(testing::FeedPort(window.get(), 0, disordered).ok());
+  ASSERT_TRUE(window->Drain().ok());
+  ASSERT_TRUE(count.Drain().ok());
+
+  EventList expected = denotation::GroupByAggregate(
+      denotation::SlidingWindow(denotation::IdealOf(ordered), 7), {"key"},
+      aggs, schema);
+  EXPECT_TRUE(StarEqual(sink.Ideal(), expected))
+      << "spec " << Spec().ToString() << "\ngot:\n"
+      << testing::Describe(sink.Ideal()) << "want:\n"
+      << testing::Describe(expected);
+  if (Spec().IsStrong()) EXPECT_EQ(sink.retracts(), 0u);
+}
+
+TEST_P(PipelinePropertyTest, SelectThenJoin) {
+  Rng rng(Seed() + 7);
+  std::vector<Message> left =
+      testing::RandomStream(&rng, 50, 40, 3, /*retract_fraction=*/0.1);
+  std::vector<Message> right =
+      testing::RandomStream(&rng, 50, 40, 3, /*retract_fraction=*/0.1);
+  std::vector<Message> dleft = Disordered(left, Seed() + 2);
+  std::vector<Message> dright = Disordered(right, Seed() + 3);
+
+  auto pred = [](const Row& r) { return r.at(1).AsInt64() % 3 != 0; };
+  auto theta = [](const Row& l, const Row& r) { return l.at(0) == r.at(0); };
+
+  SelectOp filter(pred, Spec());
+  JoinOp join(theta, nullptr, Spec());
+  CollectingSink sink;
+  filter.ConnectTo(&join, 0);
+  join.ConnectTo(&sink, 0);
+
+  // Interleave: filtered left through port 0, raw right through port 1.
+  struct Tagged {
+    Message msg;
+    bool left;
+  };
+  std::vector<Tagged> merged;
+  for (const Message& m : dleft) merged.push_back({m, true});
+  for (const Message& m : dright) merged.push_back({m, false});
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.msg.cs < b.msg.cs;
+                   });
+  Time last = 1;
+  for (const Tagged& t : merged) {
+    last = std::max(last, t.msg.cs + 1);
+    if (t.left) {
+      ASSERT_TRUE(filter.Push(0, t.msg).ok());
+    } else {
+      ASSERT_TRUE(join.Push(1, t.msg).ok());
+    }
+  }
+  ASSERT_TRUE(filter.Push(0, CtiOf(kInfinity, last)).ok());
+  ASSERT_TRUE(join.Push(1, CtiOf(kInfinity, last)).ok());
+  ASSERT_TRUE(filter.Drain().ok());
+  ASSERT_TRUE(join.Drain().ok());
+
+  EventList expected = denotation::Join(
+      denotation::Select(denotation::IdealOf(left), pred),
+      denotation::IdealOf(right), theta, nullptr);
+  EXPECT_TRUE(StarEqual(sink.Ideal(), expected))
+      << "spec " << Spec().ToString();
+}
+
+TEST_P(PipelinePropertyTest, WindowThenDeletes) {
+  Rng rng(Seed() + 13);
+  std::vector<Message> ordered =
+      testing::RandomStream(&rng, 60, 40, 2, /*retract_fraction=*/0.2);
+  std::vector<Message> disordered = Disordered(ordered, Seed() + 4);
+
+  auto window = MakeSlidingWindowOp(5, Spec());
+  auto deletes = MakeDeletesOp(Spec());
+  CollectingSink sink;
+  window->ConnectTo(deletes.get(), 0);
+  deletes->ConnectTo(&sink, 0);
+  ASSERT_TRUE(testing::FeedPort(window.get(), 0, disordered).ok());
+  ASSERT_TRUE(window->Drain().ok());
+  ASSERT_TRUE(deletes->Drain().ok());
+
+  EventList expected = denotation::Deletes(
+      denotation::SlidingWindow(denotation::IdealOf(ordered), 5));
+  EXPECT_TRUE(StarEqual(sink.Ideal(), expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelinePropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace cedr

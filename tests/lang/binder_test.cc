@@ -1,0 +1,191 @@
+#include "lang/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+Catalog TestCatalog() {
+  Catalog catalog = workload::MachineCatalog();
+  catalog["A"] = Schema::Make({{"id", ValueType::kInt64},
+                               {"price", ValueType::kDouble}});
+  catalog["B"] = Schema::Make({{"id", ValueType::kInt64},
+                               {"qty", ValueType::kInt64}});
+  catalog["C"] = Schema::Make({{"id", ValueType::kInt64}});
+  return catalog;
+}
+
+Result<plan::BoundQuery> BindText(const std::string& text) {
+  CEDR_ASSIGN_OR_RETURN(ast::Query query, ParseQuery(text));
+  return Bind(query, TestCatalog());
+}
+
+TEST(BinderTest, Cidr07ExampleBinds) {
+  auto bound = BindText(workload::Cidr07ExampleQuery()).ValueOrDie();
+  ASSERT_EQ(bound.leaves.size(), 3u);
+  EXPECT_EQ(bound.leaves[0].event_type, "INSTALL");
+  EXPECT_EQ(bound.leaves[0].flat_index, 0);
+  EXPECT_FALSE(bound.leaves[0].negated);
+  EXPECT_EQ(bound.leaves[1].flat_index, 1);
+  EXPECT_TRUE(bound.leaves[2].negated);           // RESTART
+  EXPECT_GE(bound.leaves[2].flat_index, plan::kNegatedIndexBase);
+
+  ASSERT_NE(bound.root, nullptr);
+  EXPECT_EQ(bound.root->kind, plan::LogicalKind::kUnless);
+  // {x.Machine_Id = y.Machine_Id} injected into the SEQUENCE;
+  // {x.Machine_Id = z.Machine_Id} into the UNLESS negation.
+  EXPECT_EQ(bound.root->children[0]->tuple_comparisons.size(), 1u);
+  EXPECT_EQ(bound.root->negation_comparisons.size(), 1u);
+  // Composite payload: INSTALL then SHUTDOWN fields.
+  ASSERT_NE(bound.composite_schema, nullptr);
+  EXPECT_EQ(bound.composite_schema->num_fields(), 4u);
+  EXPECT_EQ(bound.composite_schema->field(0).name, "x_Machine_Id");
+}
+
+TEST(BinderTest, UnknownEventTypeFails) {
+  auto r = BindText("EVENT Q WHEN SEQUENCE(NOPE, B, 10)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(BinderTest, UnknownAttributeFails) {
+  auto r = BindText(
+      "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10) WHERE {a.missing = b.id}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("missing"), std::string::npos);
+}
+
+TEST(BinderTest, UnknownBindingFails) {
+  auto r = BindText(
+      "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10) WHERE {zz.id = a.id}");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinderTest, DuplicateExplicitBindingFails) {
+  auto r = BindText("EVENT Q WHEN SEQUENCE(A AS a, B AS a, 10)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinderTest, AmbiguousImplicitNameFails) {
+  auto r = BindText("EVENT Q WHEN SEQUENCE(A, A, 10) WHERE {A.id = A.id}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST(BinderTest, EventTypeUsableAsImplicitBinding) {
+  auto bound =
+      BindText("EVENT Q WHEN SEQUENCE(A, B, 10) WHERE {A.id = B.id}");
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+}
+
+TEST(BinderTest, SingleLeafPredicatePushedToFilter) {
+  auto bound = BindText(
+                   "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10)\n"
+                   "WHERE {a.price > 5.0}")
+                   .ValueOrDie();
+  EXPECT_EQ(bound.leaves[0].local_filter.size(), 1u);
+  EXPECT_TRUE(bound.root->tuple_comparisons.empty());
+}
+
+TEST(BinderTest, LiteralOnLeftNormalized) {
+  auto bound = BindText(
+                   "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10)\n"
+                   "WHERE {5.0 < a.price}")
+                   .ValueOrDie();
+  ASSERT_EQ(bound.leaves[0].local_filter.size(), 1u);
+  EXPECT_EQ(bound.leaves[0].local_filter[0].op,
+            AttributeComparison::Op::kGt);
+}
+
+TEST(BinderTest, CorrelationKeyExpandsPairwise) {
+  auto bound = BindText(
+                   "EVENT Q WHEN UNLESS(SEQUENCE(A AS a, B AS b, 10),\n"
+                   "                    C AS c, 5)\n"
+                   "WHERE CorrelationKey(id, EQUAL)")
+                   .ValueOrDie();
+  // a=b on the sequence, a=c on the negation.
+  EXPECT_EQ(bound.root->children[0]->tuple_comparisons.size(), 1u);
+  EXPECT_EQ(bound.root->negation_comparisons.size(), 1u);
+}
+
+TEST(BinderTest, AttributeEqualsAppliesToCarriers) {
+  auto bound = BindText(
+                   "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10)\n"
+                   "WHERE [id EQUAL 7]")
+                   .ValueOrDie();
+  EXPECT_EQ(bound.leaves[0].local_filter.size(), 1u);
+  EXPECT_EQ(bound.leaves[1].local_filter.size(), 1u);
+}
+
+TEST(BinderTest, OutputResolvesToCompositeIndices) {
+  auto bound = BindText(
+                   "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10)\n"
+                   "OUTPUT b.qty AS quantity, a.id")
+                   .ValueOrDie();
+  ASSERT_EQ(bound.output.size(), 2u);
+  // Composite payload: (a.id, a.price, b.id, b.qty).
+  EXPECT_EQ(bound.output[0].field_index, 3);
+  EXPECT_EQ(bound.output[0].name, "quantity");
+  EXPECT_EQ(bound.output[1].field_index, 0);
+  EXPECT_EQ(bound.output_schema->field(1).name, "a_id");
+}
+
+TEST(BinderTest, OutputOfNegatedContributorFails) {
+  auto r = BindText(
+      "EVENT Q WHEN UNLESS(SEQUENCE(A AS a, B AS b, 10), C AS c, 5)\n"
+      "OUTPUT c.id");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("negated"), std::string::npos);
+}
+
+TEST(BinderTest, BareEventTypeQueryRejected) {
+  auto r = BindText("EVENT Q WHEN A");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinderTest, ComplexNegatedArmRejected) {
+  auto r = BindText(
+      "EVENT Q WHEN UNLESS(A AS a, SEQUENCE(B, C, 5), 10)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("event type"), std::string::npos);
+}
+
+TEST(BinderTest, ConsistencyClauseApplied) {
+  auto bound =
+      BindText("EVENT Q WHEN ANY(A) CONSISTENCY MIDDLE").ValueOrDie();
+  EXPECT_TRUE(bound.spec.IsMiddle());
+  auto def = BindText("EVENT Q WHEN ANY(A)").ValueOrDie();
+  EXPECT_TRUE(def.spec.IsStrong());  // default
+}
+
+TEST(BinderTest, SlicesCarriedThrough) {
+  auto bound =
+      BindText("EVENT Q WHEN ANY(A) @[1, 5) #[2, 9)").ValueOrDie();
+  EXPECT_EQ(*bound.occurrence_slice, (Interval{1, 5}));
+  EXPECT_EQ(*bound.valid_slice, (Interval{2, 9}));
+}
+
+TEST(BinderTest, NotBindsNegatedFirstChild) {
+  auto bound = BindText(
+                   "EVENT Q WHEN NOT(C AS c, SEQUENCE(A AS a, B AS b, 10))\n"
+                   "WHERE {a.id = c.id}")
+                   .ValueOrDie();
+  EXPECT_EQ(bound.root->kind, plan::LogicalKind::kNot);
+  EXPECT_GE(bound.root->negated_leaf_id, 0);
+  EXPECT_TRUE(bound.leaves[bound.root->negated_leaf_id].negated);
+  EXPECT_EQ(bound.root->negation_comparisons.size(), 1u);
+  EXPECT_EQ(bound.root->lookback, 10);
+}
+
+TEST(BinderTest, AtMostMultiLeafPredicateRejected) {
+  auto r = BindText(
+      "EVENT Q WHEN ATMOST(2, A AS a, B AS b, 10) WHERE {a.id = b.id}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ATMOST"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cedr

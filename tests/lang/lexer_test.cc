@@ -1,0 +1,82 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("EVENT Foo WHEN ( ) { } [ ] , . @ #").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 14u);  // 13 tokens + end
+  EXPECT_TRUE(tokens[0].IsKeyword("event"));
+  EXPECT_TRUE(tokens[0].IsKeyword("EVENT"));  // case-insensitive
+  EXPECT_EQ(tokens[1].text, "Foo");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[12].kind, TokenKind::kHash);
+  EXPECT_EQ(tokens[13].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("12 3.5 -7 -2.25").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 12);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].int_value, -7);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, -2.25);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Lex("'BARGA_XP03'").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "BARGA_XP03");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Lex("= != < <= > >=").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kGt);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kGe);
+}
+
+TEST(LexerTest, CancelWhenIsOneIdentifier) {
+  auto tokens = Lex("CANCEL-WHEN(A, B)").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "CANCEL-WHEN");
+  EXPECT_TRUE(tokens[0].IsKeyword("cancel-when"));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("A -- this is a comment\nB").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "A");
+  EXPECT_EQ(tokens[1].text, "B");
+}
+
+TEST(LexerTest, DottedReference) {
+  auto tokens = Lex("x.Machine_Id").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[2].text, "Machine_Id");
+}
+
+TEST(LexerTest, OffsetsTracked) {
+  auto tokens = Lex("AB  CD").ValueOrDie();
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Lex("a $ b").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+}
+
+}  // namespace
+}  // namespace cedr

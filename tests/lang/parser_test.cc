@@ -1,0 +1,179 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+using ast::PatternKind;
+
+TEST(ParserTest, Cidr07ExampleParses) {
+  // The literal query of Section 3.1.
+  auto query = ParseQuery(
+                   "EVENT CIDR07_Example\n"
+                   "WHEN UNLESS(SEQUENCE(INSTALL x,\n"
+                   "                SHUTDOWN AS y, 12 hours),\n"
+                   "                RESTART AS z, 5 minutes)\n"
+                   "WHERE {x.Machine_Id = y.Machine_Id} AND\n"
+                   "      {x.Machine_Id = z.Machine_Id}")
+                   .ValueOrDie();
+  EXPECT_EQ(query.name, "CIDR07_Example");
+  ASSERT_NE(query.when, nullptr);
+  EXPECT_EQ(query.when->kind, PatternKind::kUnless);
+  EXPECT_EQ(query.when->scope, 5 * 60);
+  ASSERT_EQ(query.when->children.size(), 2u);
+  const ast::Pattern& seq = *query.when->children[0];
+  EXPECT_EQ(seq.kind, PatternKind::kSequence);
+  EXPECT_EQ(seq.scope, 12 * 3600);
+  ASSERT_EQ(seq.children.size(), 2u);
+  EXPECT_EQ(seq.children[0]->event_type, "INSTALL");
+  EXPECT_EQ(seq.children[0]->binding, "x");  // bare binding
+  EXPECT_EQ(seq.children[1]->binding, "y");  // AS binding
+  EXPECT_EQ(query.when->children[1]->event_type, "RESTART");
+  EXPECT_EQ(query.when->children[1]->binding, "z");
+  ASSERT_EQ(query.where.size(), 2u);
+  EXPECT_EQ(query.where[0].lhs.binding, "x");
+  EXPECT_EQ(query.where[1].rhs.binding, "z");
+}
+
+TEST(ParserTest, GeneratedWorkloadQueryParses) {
+  EXPECT_TRUE(ParseQuery(workload::Cidr07ExampleQuery()).ok());
+}
+
+TEST(ParserTest, AllAnyAtLeastAtMost) {
+  auto all = ParsePattern("ALL(A, B, C, 10)").ValueOrDie();
+  EXPECT_EQ(all->kind, PatternKind::kAll);
+  EXPECT_EQ(all->children.size(), 3u);
+  EXPECT_EQ(all->scope, 10);
+
+  auto any = ParsePattern("ANY(A, B)").ValueOrDie();
+  EXPECT_EQ(any->kind, PatternKind::kAny);
+  EXPECT_FALSE(any->has_scope);
+
+  auto atleast = ParsePattern("ATLEAST(2, A, B, C, 30 seconds)").ValueOrDie();
+  EXPECT_EQ(atleast->kind, PatternKind::kAtLeast);
+  EXPECT_EQ(atleast->count, 2);
+  EXPECT_EQ(atleast->scope, 30);
+
+  auto atmost = ParsePattern("ATMOST(3, A, 1 minute)").ValueOrDie();
+  EXPECT_EQ(atmost->kind, PatternKind::kAtMost);
+  EXPECT_EQ(atmost->scope, 60);
+}
+
+TEST(ParserTest, NotRequiresSequenceScope) {
+  auto ok = ParsePattern("NOT(E, SEQUENCE(A, B, 10))");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie()->kind, PatternKind::kNot);
+  EXPECT_FALSE(ParsePattern("NOT(E, ALL(A, B, 10))").ok());
+}
+
+TEST(ParserTest, CancelWhen) {
+  auto node =
+      ParsePattern("CANCEL-WHEN(SEQUENCE(A, B, 10), C AS stop)").ValueOrDie();
+  EXPECT_EQ(node->kind, PatternKind::kCancelWhen);
+  EXPECT_EQ(node->children[1]->binding, "stop");
+}
+
+TEST(ParserTest, NestedComposition) {
+  // The paper's composability example.
+  auto node =
+      ParsePattern("ALL(E1, NOT(E2, SEQUENCE(E3, E4, 5 minutes)), 1 hours)")
+          .ValueOrDie();
+  EXPECT_EQ(node->kind, PatternKind::kAll);
+  EXPECT_EQ(node->children[1]->kind, PatternKind::kNot);
+}
+
+TEST(ParserTest, ScModeOptions) {
+  auto node = ParsePattern("SEQUENCE(A WITH (FIRST, CONSUME), B, 10)")
+                  .ValueOrDie();
+  EXPECT_EQ(node->children[0]->sc.selection, SelectionMode::kFirst);
+  EXPECT_EQ(node->children[0]->sc.consumption, ConsumptionMode::kConsume);
+  EXPECT_EQ(node->children[1]->sc, ScMode{});
+}
+
+TEST(ParserTest, DurationUnits) {
+  EXPECT_EQ(ParsePattern("SEQUENCE(A, B, 2 days)").ValueOrDie()->scope,
+            2 * 86400);
+  EXPECT_EQ(ParsePattern("SEQUENCE(A, B, 90 ticks)").ValueOrDie()->scope, 90);
+  EXPECT_EQ(ParsePattern("SEQUENCE(A, B, 45)").ValueOrDie()->scope, 45);
+}
+
+TEST(ParserTest, WherePredicateForms) {
+  auto query = ParseQuery(
+                   "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10)\n"
+                   "WHERE {a.x = b.y} AND CorrelationKey(id, EQUAL)\n"
+                   "  AND [region EQUAL 'west'] AND {a.price > 10.5}")
+                   .ValueOrDie();
+  ASSERT_EQ(query.where.size(), 4u);
+  EXPECT_EQ(query.where[0].kind, ast::PredicateKind::kComparison);
+  EXPECT_EQ(query.where[1].kind, ast::PredicateKind::kCorrelationKey);
+  EXPECT_EQ(query.where[1].attribute, "id");
+  EXPECT_EQ(query.where[2].kind, ast::PredicateKind::kAttributeEquals);
+  EXPECT_EQ(query.where[2].literal, Value("west"));
+  EXPECT_EQ(query.where[3].op, AttributeComparison::Op::kGt);
+}
+
+TEST(ParserTest, OutputClause) {
+  auto query = ParseQuery(
+                   "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10)\n"
+                   "OUTPUT a.id AS machine, b.ts")
+                   .ValueOrDie();
+  ASSERT_EQ(query.output.size(), 2u);
+  EXPECT_EQ(query.output[0].binding, "a");
+  EXPECT_EQ(query.output[0].alias, "machine");
+  EXPECT_EQ(query.output[1].attribute, "ts");
+  EXPECT_TRUE(query.output[1].alias.empty());
+}
+
+TEST(ParserTest, ConsistencyClause) {
+  auto strong = ParseQuery("EVENT Q WHEN ANY(A) CONSISTENCY STRONG")
+                    .ValueOrDie();
+  EXPECT_TRUE(strong.consistency->IsStrong());
+  auto weak =
+      ParseQuery("EVENT Q WHEN ANY(A) CONSISTENCY WEAK(30 seconds)")
+          .ValueOrDie();
+  EXPECT_EQ(weak.consistency->max_memory, 30);
+  auto custom =
+      ParseQuery("EVENT Q WHEN ANY(A) CONSISTENCY CUSTOM(10, INF)")
+          .ValueOrDie();
+  EXPECT_EQ(custom.consistency->max_blocking, 10);
+  EXPECT_EQ(custom.consistency->max_memory, kInfinity);
+}
+
+TEST(ParserTest, TemporalSlices) {
+  auto query = ParseQuery("EVENT Q WHEN ANY(A) @[10, 20) #[5, INF)")
+                   .ValueOrDie();
+  ASSERT_TRUE(query.occurrence_slice.has_value());
+  EXPECT_EQ(*query.occurrence_slice, (Interval{10, 20}));
+  ASSERT_TRUE(query.valid_slice.has_value());
+  EXPECT_EQ(*query.valid_slice, (Interval{5, kInfinity}));
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto r = ParseQuery("EVENT Q WHEN SEQUENCE(A, B)");  // missing scope
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseQuery("EVENT Q WHEN ANY(A) banana(").ok());
+}
+
+TEST(ParserTest, QueryToStringRoundTripsStructure) {
+  auto query = ParseQuery(workload::Cidr07ExampleQuery()).ValueOrDie();
+  std::string printed = query.ToString();
+  EXPECT_NE(printed.find("UNLESS"), std::string::npos);
+  EXPECT_NE(printed.find("SEQUENCE"), std::string::npos);
+  // The printed form parses back to the same structure.
+  auto reparsed = ParseQuery(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString()
+                             << "\nprinted:\n"
+                             << printed;
+  EXPECT_EQ(reparsed.ValueOrDie().ToString(), printed);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,47 @@
+// Parse -> print -> parse round-trips across the whole surface syntax.
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace cedr {
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintedFormReparsesIdentically) {
+  auto first = ParseQuery(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = first.ValueOrDie().ToString();
+  auto second = ParseQuery(printed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString() << "\nprinted:\n"
+                           << printed;
+  EXPECT_EQ(second.ValueOrDie().ToString(), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "EVENT Q WHEN SEQUENCE(A, B, 10)",
+        "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 2 hours)\n"
+        "WHERE {a.id = b.id}",
+        "EVENT Q WHEN UNLESS(SEQUENCE(A, B, 10), C, 5)",
+        "EVENT Q WHEN UNLESS(SEQUENCE(A, B, 10), C, 1, 5)",  // UNLESS'
+        "EVENT Q WHEN NOT(C, SEQUENCE(A, B, 10))",
+        "EVENT Q WHEN CANCEL-WHEN(SEQUENCE(A, B, 10), C)",
+        "EVENT Q WHEN ALL(A, B, C, 10)",
+        "EVENT Q WHEN ANY(A, B)",
+        "EVENT Q WHEN ATLEAST(2, A, B, C, 10)",
+        "EVENT Q WHEN ATMOST(3, A, 10)",
+        "EVENT Q WHEN SEQUENCE(A WITH (FIRST, CONSUME), B WITH (LAST), 10)",
+        "EVENT Q WHEN SEQUENCE(A AS a, B, 10) WHERE {a.id = 7} AND "
+        "[region EQUAL 'west'] AND CorrelationKey(id, EQUAL)",
+        "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10) OUTPUT a.id AS x, b.id",
+        "EVENT Q WHEN ANY(A) CONSISTENCY STRONG",
+        "EVENT Q WHEN ANY(A) CONSISTENCY WEAK(30)",
+        "EVENT Q WHEN ANY(A) CONSISTENCY CUSTOM(10, INF)",
+        "EVENT Q WHEN ANY(A) @[1, 9) #[2, INF)",
+        "EVENT Q WHEN SEQUENCE(ALL(A, B, 5), NOT(C, SEQUENCE(D, E, 3)), "
+        "20)"));
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,91 @@
+// SC modes (Section 3.2) through the full language pipeline: WITH
+// (FIRST | LAST | EACH, CONSUME | REUSE) on contributor parameters.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/query.h"
+
+namespace cedr {
+namespace {
+
+Catalog TestCatalog() {
+  SchemaPtr s = Schema::Make({{"id", ValueType::kInt64}});
+  return {{"A", s}, {"B", s}};
+}
+
+Row P(int64_t id) {
+  return Row(Schema::Make({{"id", ValueType::kInt64}}), {Value(id)});
+}
+
+std::unique_ptr<CompiledQuery> Compile(const std::string& when) {
+  return CompiledQuery::Compile("EVENT Q WHEN " + when, TestCatalog(),
+                                ConsistencySpec::Middle())
+      .ValueOrDie();
+}
+
+void Feed(CompiledQuery* query) {
+  // Two A events then two B events, all within scope.
+  ASSERT_TRUE(
+      query->Push("A", InsertOf(MakeEvent(1, 1, 2, P(1)), 1)).ok());
+  ASSERT_TRUE(
+      query->Push("A", InsertOf(MakeEvent(2, 2, 3, P(2)), 2)).ok());
+  ASSERT_TRUE(
+      query->Push("B", InsertOf(MakeEvent(3, 5, 6, P(3)), 5)).ok());
+  ASSERT_TRUE(
+      query->Push("B", InsertOf(MakeEvent(4, 6, 7, P(4)), 6)).ok());
+  ASSERT_TRUE(query->Finish().ok());
+}
+
+TEST(ScModeLangTest, DefaultEachReuseMatchesAllPairs) {
+  auto query = Compile("SEQUENCE(A, B, 20)");
+  Feed(query.get());
+  EXPECT_EQ(query->sink().Ideal().size(), 4u);  // 2 x 2
+}
+
+TEST(ScModeLangTest, FirstSelectionPicksEarliestA) {
+  auto query = Compile("SEQUENCE(A WITH (FIRST), B, 20)");
+  Feed(query.get());
+  EventList out = query->sink().Ideal();
+  ASSERT_EQ(out.size(), 2u);  // one per B
+  for (const Event& e : out) {
+    EXPECT_EQ(e.cbt[0]->id, 1u);  // always the first A
+  }
+}
+
+TEST(ScModeLangTest, LastSelectionPicksLatestA) {
+  auto query = Compile("SEQUENCE(A WITH (LAST), B, 20)");
+  Feed(query.get());
+  EventList out = query->sink().Ideal();
+  ASSERT_EQ(out.size(), 2u);
+  for (const Event& e : out) {
+    EXPECT_EQ(e.cbt[0]->id, 2u);  // always the most recent A
+  }
+}
+
+TEST(ScModeLangTest, ConsumeRemovesUsedContributors) {
+  auto query = Compile("SEQUENCE(A WITH (CONSUME), B, 20)");
+  Feed(query.get());
+  // First B consumes both As (one match per stored A under EACH
+  // selection); the second B finds the store empty.
+  EventList out = query->sink().Ideal();
+  for (const Event& e : out) {
+    EXPECT_EQ(e.cbt[1]->id, 3u) << "second B must find no A";
+  }
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ScModeLangTest, FirstConsumeGivesOneToOnePairing) {
+  // The classic chronicle policy: each B consumes exactly the earliest
+  // remaining A.
+  auto query = Compile("SEQUENCE(A WITH (FIRST, CONSUME), B, 20)");
+  Feed(query.get());
+  EventList out = query->sink().Ideal();
+  ASSERT_EQ(out.size(), 2u);
+  std::set<EventId> used_as;
+  for (const Event& e : out) used_as.insert(e.cbt[0]->id);
+  EXPECT_EQ(used_as.size(), 2u);  // A1 with B1, A2 with B2
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,186 @@
+// Alignment buffer and consistency monitor mechanics (Figure 7).
+#include "ops/alignment_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/monitor.h"
+
+namespace cedr {
+namespace {
+
+Message Ins(EventId id, Time vs, Time ve, Time cs) {
+  return InsertOf(MakeEvent(id, vs, ve), cs);
+}
+
+TEST(AlignmentBufferTest, PassThroughWhenBlockingZero) {
+  AlignmentBuffer buffer(0);
+  std::vector<Message> released;
+  buffer.Offer(Ins(1, 10, 20, 1), 1, &released);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_TRUE(buffer.pass_through());
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(AlignmentBufferTest, InfiniteBlockingWaitsForCti) {
+  AlignmentBuffer buffer(kInfinity);
+  std::vector<Message> released;
+  buffer.Offer(Ins(1, 10, 20, 1), 1, &released);
+  buffer.Offer(Ins(2, 5, 20, 2), 2, &released);
+  EXPECT_TRUE(released.empty());
+  EXPECT_EQ(buffer.size(), 2u);
+  buffer.Offer(CtiOf(12, 3), 3, &released);
+  // Both released, in sync order, then the CTI itself.
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_EQ(released[0].event.id, 2u);  // sync 5 first
+  EXPECT_EQ(released[1].event.id, 1u);
+  EXPECT_EQ(released[2].kind, MessageKind::kCti);
+}
+
+TEST(AlignmentBufferTest, FiniteBlockingReleasesByWatermark) {
+  AlignmentBuffer buffer(5);
+  std::vector<Message> released;
+  buffer.Offer(Ins(1, 10, 20, 1), 1, &released);
+  EXPECT_TRUE(released.empty());
+  // Watermark advances to 16: frontier 11 >= 10 releases event 1.
+  buffer.Offer(Ins(2, 16, 20, 2), 2, &released);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].event.id, 1u);
+}
+
+TEST(AlignmentBufferTest, LateMessagePassesThroughImmediately) {
+  AlignmentBuffer buffer(5);
+  std::vector<Message> released;
+  buffer.Offer(Ins(1, 100, 120, 1), 1, &released);
+  // Event far in the past (beyond B of the watermark): cannot be
+  // ordered anymore, passes through for optimistic repair.
+  buffer.Offer(Ins(2, 3, 8, 2), 2, &released);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].event.id, 2u);
+}
+
+TEST(AlignmentBufferTest, RetractionMergesWithBufferedInsert) {
+  AlignmentBuffer buffer(kInfinity);
+  std::vector<Message> released;
+  Event e = MakeEvent(1, 10, 100);
+  buffer.Offer(InsertOf(e, 1), 1, &released);
+  buffer.Offer(RetractOf(e, 50, 2), 2, &released);
+  EXPECT_TRUE(released.empty());
+  EXPECT_EQ(buffer.stats().merged_retractions, 1u);
+  buffer.Offer(CtiOf(kInfinity, 3), 3, &released);
+  // One corrected insert comes out; the retraction vanished.
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].kind, MessageKind::kInsert);
+  EXPECT_EQ(released[0].event.ve, 50);
+}
+
+TEST(AlignmentBufferTest, FullRemovalAnnihilatesBufferedInsert) {
+  AlignmentBuffer buffer(kInfinity);
+  std::vector<Message> released;
+  Event e = MakeEvent(1, 10, 100);
+  buffer.Offer(InsertOf(e, 1), 1, &released);
+  buffer.Offer(RetractOf(e, 10, 2), 2, &released);
+  EXPECT_EQ(buffer.stats().annihilated_inserts, 1u);
+  buffer.Offer(CtiOf(kInfinity, 3), 3, &released);
+  ASSERT_EQ(released.size(), 1u);  // only the CTI
+  EXPECT_EQ(released[0].kind, MessageKind::kCti);
+}
+
+TEST(AlignmentBufferTest, BlockingStatsMeasured) {
+  AlignmentBuffer buffer(kInfinity);
+  std::vector<Message> released;
+  buffer.Offer(Ins(1, 10, 20, 100), 100, &released);
+  buffer.Offer(CtiOf(50, 130), 130, &released);
+  EXPECT_EQ(buffer.stats().total_blocking_cs, 30);
+  EXPECT_EQ(buffer.stats().max_blocking_cs, 30);
+  // Only formerly-buffered messages count; pass-through CTIs do not.
+  EXPECT_EQ(buffer.stats().released, 1u);
+}
+
+TEST(AlignmentBufferTest, DrainReleasesEverything) {
+  AlignmentBuffer buffer(kInfinity);
+  std::vector<Message> released;
+  buffer.Offer(Ins(1, 10, 20, 1), 1, &released);
+  buffer.Offer(Ins(2, 5, 20, 2), 2, &released);
+  buffer.Drain(3, &released);
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].event.id, 2u);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(AlignmentBufferTest, MaxSizeTracked) {
+  AlignmentBuffer buffer(kInfinity);
+  std::vector<Message> released;
+  for (int i = 0; i < 5; ++i) {
+    buffer.Offer(Ins(i + 1, 10 + i, 100, i), i, &released);
+  }
+  EXPECT_EQ(buffer.stats().max_size, 5u);
+}
+
+TEST(ConsistencyMonitorTest, EffectiveSpecClampsBlockingToMemory) {
+  ConsistencyMonitor monitor(ConsistencySpec::Custom(100, 10), 1);
+  EXPECT_EQ(monitor.spec().max_blocking, 10);
+  EXPECT_EQ(monitor.spec().max_memory, 10);
+}
+
+// Offers a message and records every released message as dispatched (the
+// operator base class does this per message).
+void OfferAndDispatch(ConsistencyMonitor* monitor, int port,
+                      const Message& msg, Time now_cs) {
+  for (const Message& m : monitor->Offer(port, msg, now_cs)) {
+    monitor->NoteDispatch(port, m);
+  }
+}
+
+TEST(ConsistencyMonitorTest, CombinedGuaranteeIsMinOverPorts) {
+  ConsistencyMonitor monitor(ConsistencySpec::Middle(), 2);
+  OfferAndDispatch(&monitor, 0, CtiOf(10, 1), 1);
+  EXPECT_EQ(monitor.InputGuarantee(), kMinTime);  // port 1 silent
+  OfferAndDispatch(&monitor, 1, CtiOf(7, 2), 2);
+  EXPECT_EQ(monitor.InputGuarantee(), 7);
+  OfferAndDispatch(&monitor, 1, CtiOf(20, 3), 3);
+  EXPECT_EQ(monitor.InputGuarantee(), 10);
+}
+
+TEST(ConsistencyMonitorTest, GuaranteeNotVisibleBeforeDispatch) {
+  // A CTI in flight (returned from Offer but not yet dispatched) must
+  // not advance the observed guarantee.
+  ConsistencyMonitor monitor(ConsistencySpec::Middle(), 1);
+  std::vector<Message> released = monitor.Offer(0, CtiOf(10, 1), 1);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(monitor.InputGuarantee(), kMinTime);
+  monitor.NoteDispatch(0, released[0]);
+  EXPECT_EQ(monitor.InputGuarantee(), 10);
+}
+
+TEST(ConsistencyMonitorTest, RepairHorizonUsesMemory) {
+  ConsistencyMonitor monitor(ConsistencySpec::Weak(10), 1);
+  OfferAndDispatch(&monitor, 0, Ins(1, 100, 200, 1), 1);
+  // Watermark 100, memory 10: horizon 90.
+  EXPECT_EQ(monitor.RepairHorizon(), 90);
+}
+
+TEST(ConsistencyMonitorTest, RepairHorizonUsesGuaranteeWhenLarger) {
+  ConsistencyMonitor monitor(ConsistencySpec::Weak(1000), 1);
+  OfferAndDispatch(&monitor, 0, CtiOf(95, 1), 1);
+  OfferAndDispatch(&monitor, 0, Ins(1, 100, 200, 2), 2);
+  EXPECT_EQ(monitor.RepairHorizon(), 95);
+}
+
+TEST(ConsistencyMonitorTest, StrongHorizonIsGuaranteeOnly) {
+  ConsistencyMonitor monitor(ConsistencySpec::Strong(), 1);
+  OfferAndDispatch(&monitor, 0, CtiOf(42, 1), 1);
+  EXPECT_EQ(monitor.RepairHorizon(), 42);
+}
+
+TEST(ConsistencySpecTest, NamedLevels) {
+  EXPECT_TRUE(ConsistencySpec::Strong().IsStrong());
+  EXPECT_TRUE(ConsistencySpec::Middle().IsMiddle());
+  EXPECT_TRUE(ConsistencySpec::Weak(5).IsWeak());
+  EXPECT_FALSE(ConsistencySpec::Strong().IsWeak());
+  EXPECT_EQ(ConsistencySpec::Strong().ToString(), "strong");
+  EXPECT_EQ(ConsistencySpec::Middle().ToString(), "middle");
+  EXPECT_EQ(ConsistencySpec::Weak(0).ToString(), "weak");
+}
+
+}  // namespace
+}  // namespace cedr

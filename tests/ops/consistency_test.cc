@@ -1,0 +1,255 @@
+// Consistency properties across the (M, B) spectrum:
+//  * well-behavedness (Definition 6): logically equivalent inputs give
+//    logically equivalent outputs, at every consistency level;
+//  * strong consistency never repairs (no out-of-order-induced
+//    retractions) but blocks;
+//  * middle consistency repairs optimistic output back to the strong
+//    answer;
+//  * weak consistency drops corrections beyond its memory;
+//  * levels agree at sync points (Section 5's seamless switching).
+#include <gtest/gtest.h>
+
+#include "denotation/relational.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/select.h"
+#include "stream/equivalence.h"
+#include "testing/helpers.h"
+#include "workload/disorder.h"
+
+namespace cedr {
+namespace {
+
+using denotation::StarEqual;
+using testing::KV;
+using testing::RunBinary;
+using testing::RunUnary;
+
+struct SpecCase {
+  const char* name;
+  ConsistencySpec spec;
+};
+
+class ConsistencyLevelTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {
+ protected:
+  ConsistencySpec Spec() const {
+    switch (std::get<1>(GetParam())) {
+      case 0:
+        return ConsistencySpec::Strong();
+      case 1:
+        return ConsistencySpec::Middle();
+      case 2:
+        return ConsistencySpec::Custom(8, kInfinity);
+      default:
+        return ConsistencySpec::Weak(kInfinity);  // == middle
+    }
+  }
+  uint64_t Seed() const { return std::get<0>(GetParam()); }
+};
+
+std::vector<Message> Disordered(const std::vector<Message>& ordered,
+                                uint64_t seed, Duration max_delay = 12) {
+  DisorderConfig config;
+  config.disorder_fraction = 0.4;
+  config.max_delay = max_delay;
+  config.cti_period = 10;
+  config.seed = seed;
+  return ApplyDisorder(ordered, config);
+}
+
+TEST_P(ConsistencyLevelTest, SelectIsWellBehaved) {
+  Rng rng(Seed());
+  std::vector<Message> ordered =
+      testing::RandomStream(&rng, 60, 40, 3, /*retract_fraction=*/0.2);
+  std::vector<Message> disordered = Disordered(ordered, Seed());
+
+  auto pred = [](const Row& r) { return r.at(1).AsInt64() % 2 == 0; };
+  EventList ideal_input = denotation::IdealOf(ordered);
+  EventList expected = denotation::Select(ideal_input, pred);
+
+  SelectOp op(pred, Spec());
+  auto result = RunUnary(&op, disordered);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(StarEqual(result.Ideal(), expected))
+      << "got:\n"
+      << testing::Describe(result.Ideal()) << "want:\n"
+      << testing::Describe(expected);
+}
+
+TEST_P(ConsistencyLevelTest, JoinIsWellBehaved) {
+  Rng rng(Seed() + 50);
+  std::vector<Message> left =
+      testing::RandomStream(&rng, 40, 30, 3, /*retract_fraction=*/0.15);
+  std::vector<Message> right =
+      testing::RandomStream(&rng, 40, 30, 3, /*retract_fraction=*/0.15);
+  std::vector<Message> dleft = Disordered(left, Seed() + 1);
+  std::vector<Message> dright = Disordered(right, Seed() + 2);
+
+  auto theta = [](const Row& l, const Row& r) { return l.at(0) == r.at(0); };
+  EventList expected = denotation::Join(denotation::IdealOf(left),
+                                        denotation::IdealOf(right), theta,
+                                        nullptr);
+
+  JoinOp op(theta, nullptr, Spec());
+  auto result = RunBinary(&op, dleft, dright);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(StarEqual(result.Ideal(), expected));
+}
+
+TEST_P(ConsistencyLevelTest, GroupByCountIsWellBehaved) {
+  Rng rng(Seed() + 99);
+  std::vector<Message> ordered =
+      testing::RandomStream(&rng, 50, 40, 2, /*retract_fraction=*/0.2);
+  std::vector<Message> disordered = Disordered(ordered, Seed() + 3);
+
+  SchemaPtr schema = Schema::Make({{"key", ValueType::kInt64},
+                                   {"count", ValueType::kInt64}});
+  std::vector<AggregateSpec> aggs = {
+      AggregateSpec{AggregateKind::kCount, "", "count"}};
+  EventList expected = denotation::GroupByAggregate(
+      denotation::IdealOf(ordered), {"key"}, aggs, schema);
+
+  GroupByAggregateOp op({"key"}, aggs, schema, Spec());
+  auto result = RunUnary(&op, disordered);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(StarEqual(result.Ideal(), expected))
+      << "got:\n"
+      << testing::Describe(result.Ideal()) << "want:\n"
+      << testing::Describe(expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecAndSeed, ConsistencyLevelTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(ConsistencyContrastTest, StrongNeverRepairsMiddleDoes) {
+  Rng rng(77);
+  std::vector<Message> ordered =
+      testing::RandomStream(&rng, 120, 60, 3, /*retract_fraction=*/0.0);
+  std::vector<Message> disordered = Disordered(ordered, 78);
+
+  SchemaPtr schema = Schema::Make({{"key", ValueType::kInt64},
+                                   {"count", ValueType::kInt64}});
+  std::vector<AggregateSpec> aggs = {
+      AggregateSpec{AggregateKind::kCount, "", "count"}};
+
+  GroupByAggregateOp strong({"key"}, aggs, schema, ConsistencySpec::Strong());
+  auto strong_result = RunUnary(&strong, disordered);
+  ASSERT_TRUE(strong_result.status.ok());
+  // Pure-insert input: any output retraction would be out-of-order
+  // repair, which strong consistency never does.
+  EXPECT_EQ(strong_result.retracts(), 0u);
+
+  GroupByAggregateOp middle({"key"}, aggs, schema, ConsistencySpec::Middle());
+  auto middle_result = RunUnary(&middle, disordered);
+  ASSERT_TRUE(middle_result.status.ok());
+  EXPECT_GT(middle_result.retracts(), 0u);  // optimistic output repaired
+
+  // Both converge to the same logical answer.
+  EXPECT_TRUE(StarEqual(strong_result.Ideal(), middle_result.Ideal()));
+
+  // The tradeoff (Figure 8): strong blocks, middle inflates output.
+  EXPECT_GT(strong.stats().alignment.total_blocking_cs,
+            middle.stats().alignment.total_blocking_cs);
+  EXPECT_GT(middle_result.sink->OutputSize(),
+            strong_result.sink->OutputSize());
+}
+
+TEST(ConsistencyContrastTest, WeakDropsCorrectionsBeyondMemory) {
+  Rng rng(91);
+  std::vector<Message> ordered =
+      testing::RandomStream(&rng, 150, 80, 2, /*retract_fraction=*/0.4);
+  std::vector<Message> disordered = Disordered(ordered, 92, /*max_delay=*/30);
+
+  auto theta = [](const Row& l, const Row& r) { return l.at(0) == r.at(0); };
+  JoinOp weak(theta, nullptr, ConsistencySpec::Weak(2));
+  auto result = RunBinary(&weak, disordered, disordered);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GT(weak.stats().lost_corrections, 0u);
+}
+
+TEST(ConsistencyContrastTest, WeakStateSmallerThanMiddle) {
+  Rng rng(101);
+  std::vector<Message> ordered =
+      testing::RandomStream(&rng, 200, 120, 2, 0.0);
+  // No CTIs at all: middle must keep everything, weak forgets.
+  DisorderConfig config;
+  config.disorder_fraction = 0.3;
+  config.max_delay = 20;
+  config.cti_period = 0;
+  config.seed = 102;
+  std::vector<Message> disordered = ApplyDisorder(ordered, config);
+
+  auto theta = [](const Row& l, const Row& r) { return l.at(0) == r.at(0); };
+  JoinOp middle(theta, nullptr, ConsistencySpec::Middle());
+  auto m = RunBinary(&middle, disordered, disordered);
+  JoinOp weak(theta, nullptr, ConsistencySpec::Weak(5));
+  auto w = RunBinary(&weak, disordered, disordered);
+  ASSERT_TRUE(m.status.ok());
+  ASSERT_TRUE(w.status.ok());
+  EXPECT_LT(weak.stats().max_state_size, middle.stats().max_state_size);
+}
+
+TEST(ConsistencyContrastTest, LevelsAgreeAtSyncPoints) {
+  // Section 5: at common sync points all levels have produced the same
+  // bitemporal state. Compare the canonical output tables to the final
+  // guarantee produced by a mid-stream CTI.
+  Rng rng(111);
+  std::vector<Message> ordered = testing::RandomStream(&rng, 80, 50, 3, 0.1);
+  std::vector<Message> disordered = Disordered(ordered, 112);
+
+  auto run = [&](ConsistencySpec spec) {
+    auto pred = [](const Row& r) { return r.at(1).AsInt64() >= 0; };
+    SelectOp op(pred, spec);
+    return RunUnary(&op, disordered);
+  };
+  auto strong = run(ConsistencySpec::Strong());
+  auto middle = run(ConsistencySpec::Middle());
+  ASSERT_TRUE(strong.status.ok());
+  ASSERT_TRUE(middle.status.ok());
+
+  HistoryTable strong_history =
+      HistoryTable::FromMessages(strong.sink->messages());
+  HistoryTable middle_history =
+      HistoryTable::FromMessages(middle.sink->messages());
+  // Compare the canonical tables at several sync times; ids are
+  // preserved by select, so full comparison applies.
+  for (Time t : {10, 25, 40, 60}) {
+    EquivalenceOptions options;
+    options.domain = TimeDomain::kValid;
+    EXPECT_TRUE(
+        LogicallyEquivalentTo(strong_history, middle_history, t, options))
+        << "diverged at sync time " << t;
+  }
+}
+
+TEST(ConsistencyContrastTest, BlockingBudgetInterpolates) {
+  // B between 0 and inf: blocking and repair both intermediate.
+  Rng rng(121);
+  std::vector<Message> ordered = testing::RandomStream(&rng, 150, 90, 3, 0.0);
+  std::vector<Message> disordered = Disordered(ordered, 122, 20);
+
+  SchemaPtr schema = Schema::Make({{"key", ValueType::kInt64},
+                                   {"count", ValueType::kInt64}});
+  std::vector<AggregateSpec> aggs = {
+      AggregateSpec{AggregateKind::kCount, "", "count"}};
+  auto run = [&](ConsistencySpec spec) {
+    GroupByAggregateOp op({"key"}, aggs, schema, spec);
+    auto r = RunUnary(&op, disordered);
+    EXPECT_TRUE(r.status.ok());
+    return std::make_pair(r.sink->retracts(),
+                          op.stats().alignment.total_blocking_cs);
+  };
+  auto [r_strong, b_strong] = run(ConsistencySpec::Strong());
+  auto [r_budget, b_budget] = run(ConsistencySpec::Custom(10, kInfinity));
+  auto [r_middle, b_middle] = run(ConsistencySpec::Middle());
+  EXPECT_EQ(r_strong, 0u);
+  EXPECT_LE(r_budget, r_middle);  // partial alignment absorbs disorder
+  EXPECT_LE(b_middle, b_budget);
+  EXPECT_LE(b_budget, b_strong);
+}
+
+}  // namespace
+}  // namespace cedr

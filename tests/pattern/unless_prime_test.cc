@@ -1,0 +1,157 @@
+// The UNLESS' variant (Section 3.3.2): negation scope anchored at the
+// n-th contributor of the positive composite.
+#include <gtest/gtest.h>
+
+#include "denotation/patterns.h"
+#include "engine/query.h"
+#include "pattern/negation.h"
+#include "pattern/sequence.h"
+#include "testing/helpers.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+using denotation::StarEqual;
+using testing::KV;
+using testing::RunMultiPort;
+
+Event E(EventId id, Time vs, int64_t key = 0) {
+  return MakeEvent(id, vs, TimeAdd(vs, 1), KV(key, static_cast<int64_t>(id)));
+}
+
+std::vector<Message> Stream(const EventList& events) {
+  std::vector<Message> out;
+  for (const Event& e : events) out.push_back(InsertOf(e, e.vs));
+  return out;
+}
+
+EventList Composites() {
+  // Sequence (a@2, b@20) within scope 30.
+  return denotation::Sequence({{E(1, 2)}, {E(2, 20)}}, 30);
+}
+
+TEST(UnlessPrimeDenotationTest, AnchorsAtChosenContributor) {
+  // Three contributors a@2, b@8, c@20 so that anchor 2 is not the last
+  // (anchoring at the last contributor degenerates like the primitive
+  // case: the deferred start reaches the nominal end).
+  EventList seq = denotation::Sequence({{E(1, 2)}, {E(2, 8)}, {E(3, 20)}},
+                                       /*w=*/30);
+  ASSERT_EQ(seq.size(), 1u);
+  // Anchored at contributor 1 (a@2), w=10: blockers in (2, 12).
+  EventList blocker_early = {E(4, 5)};
+  EXPECT_TRUE(denotation::UnlessPrime(seq, blocker_early, 1, 10).empty());
+  // Anchored at contributor 2 (b@8), w=10: window (8, 18); the early
+  // blocker at 5 is outside it.
+  EventList out = denotation::UnlessPrime(seq, blocker_early, 2, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid(), (Interval{20, 30}));  // vs=max(20,18), ve=20+10
+  EventList blocker_mid = {E(5, 12)};  // inside (8, 18)
+  EXPECT_TRUE(denotation::UnlessPrime(seq, blocker_mid, 2, 10).empty());
+}
+
+TEST(UnlessPrimeDenotationTest, OutputStartDeferredToScopeEnd) {
+  EventList seq = Composites();  // composite vs = 20
+  // Anchor contributor 1 (vs 2), w = 10: scope ends at 12 < 20, so the
+  // output keeps Vs 20. Anchor contributor 2 (vs 20), w = 10: scope
+  // ends at 30 > 20, so Vs moves to 30 and Ve stays 20 + 10 = 30 ->
+  // empty -> no output... with w = 15, Vs = 35 vs Ve = 35: also empty.
+  EventList out1 = denotation::UnlessPrime(seq, {}, 1, 10);
+  ASSERT_EQ(out1.size(), 1u);
+  EXPECT_EQ(out1[0].valid(), (Interval{20, 30}));
+  EXPECT_TRUE(denotation::UnlessPrime(seq, {}, 2, 10).empty());
+}
+
+TEST(UnlessPrimeDenotationTest, ShortLineageProducesNothing) {
+  EventList primitives = {E(1, 5)};  // cbt empty: only n == 1 applies
+  // For a primitive the anchor is the event itself, so the deferred
+  // start (anchor + w) always reaches the nominal end (Vs + w): the
+  // paper-literal rule degenerates to no output - UNLESS' is only
+  // meaningful over composites (use plain UNLESS for primitives).
+  EXPECT_TRUE(denotation::UnlessPrime(primitives, {}, 1, 3).empty());
+  EXPECT_TRUE(denotation::UnlessPrime(primitives, {}, 2, 3).empty());
+}
+
+TEST(UnlessPrimeOpTest, MatchesDenotation) {
+  EventList seq = Composites();
+  EventList blockers = {E(3, 5), E(4, 25)};
+  for (size_t n : {1u, 2u}) {
+    UnlessPrimeOp op(n, 10, nullptr, ConsistencySpec::Middle());
+    auto result = RunMultiPort(&op, {Stream(seq), Stream(blockers)});
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_TRUE(StarEqual(result.Ideal(),
+                          denotation::UnlessPrime(seq, blockers, n, 10)))
+        << "n=" << n;
+  }
+}
+
+TEST(UnlessPrimeOpTest, OptimisticRepairOnLateBlocker) {
+  EventList seq = Composites();
+  Event blocker = E(3, 5);  // inside the n=1 window (2, 12)
+  UnlessPrimeOp op(1, 10, nullptr, ConsistencySpec::Middle());
+  auto result =
+      RunMultiPort(&op, {Stream(seq), {InsertOf(blocker, 50)}});
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.sink->inserts(), 1u);
+  EXPECT_EQ(result.retracts(), 1u);
+  EXPECT_TRUE(result.Ideal().empty());
+}
+
+TEST(UnlessPrimeOpTest, StrongBlocksCleanly) {
+  EventList seq = Composites();
+  Event blocker = E(3, 5);
+  UnlessPrimeOp op(1, 10, nullptr, ConsistencySpec::Strong());
+  auto result =
+      RunMultiPort(&op, {Stream(seq), {InsertOf(blocker, 50)}});
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.retracts(), 0u);
+  EXPECT_TRUE(result.Ideal().empty());
+}
+
+TEST(UnlessPrimeLangTest, ParsesBindsAndRuns) {
+  std::string text =
+      "EVENT Q\n"
+      "WHEN UNLESS(SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 40),\n"
+      "            RESTART AS z, 1, 10)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id} AND\n"
+      "      {x.Machine_Id = z.Machine_Id}";
+  auto query = CompiledQuery::Compile(text, workload::MachineCatalog(),
+                                      ConsistencySpec::Middle())
+                   .ValueOrDie();
+  EXPECT_EQ(query->bound().root->count, 1);
+  EXPECT_EQ(query->physical().output->name(), "unless_prime");
+
+  Row payload(workload::MachineEventSchema(), {Value(1), Value("b")});
+  // install@2, shutdown@20; restart@5 is inside the install-anchored
+  // window (2, 12) and suppresses the alert even though it precedes the
+  // shutdown - the behaviour UNLESS cannot express.
+  query->Push("INSTALL", InsertOf(MakeEvent(1, 2, kInfinity, payload), 2))
+      .ok();
+  query->Push("RESTART", InsertOf(MakeEvent(3, 5, kInfinity, payload), 5))
+      .ok();
+  query->Push("SHUTDOWN", InsertOf(MakeEvent(2, 20, kInfinity, payload), 20))
+      .ok();
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_TRUE(query->sink().Ideal().empty());
+}
+
+TEST(UnlessPrimeLangTest, AnchorIndexValidated) {
+  std::string text =
+      "EVENT Q\n"
+      "WHEN UNLESS(SEQUENCE(INSTALL, SHUTDOWN, 40), RESTART, 3, 10)";
+  auto r = CompiledQuery::Compile(text, workload::MachineCatalog());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(UnlessPrimeLangTest, PlainUnlessStillParses) {
+  std::string text =
+      "EVENT Q WHEN UNLESS(SEQUENCE(INSTALL, SHUTDOWN, 40), RESTART, 10)";
+  auto query = CompiledQuery::Compile(text, workload::MachineCatalog())
+                   .ValueOrDie();
+  EXPECT_EQ(query->bound().root->count, 0);
+  EXPECT_EQ(query->physical().output->name(), "unless");
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,73 @@
+#include "plan/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/binder.h"
+#include "lang/parser.h"
+
+namespace cedr {
+namespace {
+
+Catalog TestCatalog() {
+  SchemaPtr s = Schema::Make({{"id", ValueType::kInt64}});
+  return {{"A", s}, {"B", s}, {"C", s}};
+}
+
+plan::BoundQuery BindText(const std::string& text) {
+  auto query = ParseQuery(text).ValueOrDie();
+  return Bind(query, TestCatalog()).ValueOrDie();
+}
+
+TEST(OptimizerTest, AllRewrittenToAtLeast) {
+  plan::BoundQuery bound = BindText("EVENT Q WHEN ALL(A, B, C, 10)");
+  plan::OptimizeResult result = plan::Optimize(&bound);
+  EXPECT_EQ(bound.root->kind, plan::LogicalKind::kAtLeast);
+  EXPECT_EQ(bound.root->count, 3);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_NE(result.trace[0].find("ATLEAST"), std::string::npos);
+}
+
+TEST(OptimizerTest, AnyRewrittenToAtLeastOne) {
+  plan::BoundQuery bound = BindText("EVENT Q WHEN ANY(A, B)");
+  plan::Optimize(&bound);
+  EXPECT_EQ(bound.root->kind, plan::LogicalKind::kAtLeast);
+  EXPECT_EQ(bound.root->count, 1);
+  EXPECT_EQ(bound.root->scope, 1);
+}
+
+TEST(OptimizerTest, NestedAllRewritten) {
+  plan::BoundQuery bound =
+      BindText("EVENT Q WHEN SEQUENCE(ALL(A, B, 5), C, 20)");
+  plan::Optimize(&bound);
+  EXPECT_EQ(bound.root->kind, plan::LogicalKind::kSequence);
+  EXPECT_EQ(bound.root->children[0]->kind, plan::LogicalKind::kAtLeast);
+}
+
+TEST(OptimizerTest, DuplicateComparisonsRemoved) {
+  plan::BoundQuery bound = BindText(
+      "EVENT Q WHEN SEQUENCE(A AS a, B AS b, 10)\n"
+      "WHERE {a.id = b.id} AND {a.id = b.id} AND CorrelationKey(id, EQUAL)");
+  // Three ways of writing the same test collapse to one.
+  plan::Optimize(&bound);
+  EXPECT_EQ(bound.root->tuple_comparisons.size(), 1u);
+}
+
+TEST(OptimizerTest, Idempotent) {
+  plan::BoundQuery bound = BindText("EVENT Q WHEN ALL(A, B, 10)");
+  plan::Optimize(&bound);
+  plan::OptimizeResult second = plan::Optimize(&bound);
+  EXPECT_TRUE(second.trace.empty());
+  EXPECT_EQ(second.passes, 1);
+}
+
+TEST(OptimizerTest, ReachesFixpointWithinBudget) {
+  plan::BoundQuery bound = BindText(
+      "EVENT Q WHEN SEQUENCE(ALL(A, B, 5), ANY(C), 20)");
+  plan::OptimizeResult result = plan::Optimize(&bound);
+  EXPECT_LE(result.passes, 8);
+  EXPECT_EQ(bound.root->children[0]->kind, plan::LogicalKind::kAtLeast);
+  EXPECT_EQ(bound.root->children[1]->kind, plan::LogicalKind::kAtLeast);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,167 @@
+// The bitemporal authoring layer: Figure 1's modifications, Figure 2's
+// correction protocol, and the Section 2 snapshot queries.
+#include "stream/bitemporal.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/canonical.h"
+#include "stream/equivalence.h"
+
+namespace cedr {
+namespace {
+
+// The exact Figure 1 scenario: insert e0 valid [1, inf) at time 1,
+// modify to [1, 10) at 2, modify to [1, 5) at 3, insert e1 [4, 9) at 3.
+BitemporalProvider Figure1() {
+  BitemporalProvider provider;
+  EXPECT_TRUE(provider.Insert(0, {1, kInfinity}, 1).ok());
+  EXPECT_TRUE(provider.Modify(0, {1, 10}, 2).ok());
+  EXPECT_TRUE(provider.Modify(0, {1, 5}, 3).ok());
+  EXPECT_TRUE(provider.Insert(1, {4, 9}, 3).ok());
+  return provider;
+}
+
+TEST(BitemporalTest, Figure1ConceptualTable) {
+  HistoryTable table = Figure1().ConceptualTable();
+  ASSERT_EQ(table.size(), 4u);
+  // Row 1: e0 [1, inf) occurrence [1, 2).
+  EXPECT_EQ(table.rows()[0].valid(), (Interval{1, kInfinity}));
+  EXPECT_EQ(table.rows()[0].occurrence(), (Interval{1, 2}));
+  // Row 2: e0 [1, 10) occurrence [2, 3).
+  EXPECT_EQ(table.rows()[1].valid(), (Interval{1, 10}));
+  EXPECT_EQ(table.rows()[1].occurrence(), (Interval{2, 3}));
+  // Row 3: e0 [1, 5) occurrence [3, inf).
+  EXPECT_EQ(table.rows()[2].valid(), (Interval{1, 5}));
+  EXPECT_EQ(table.rows()[2].occurrence(), (Interval{3, kInfinity}));
+  // Row 4: e1 [4, 9) occurrence [3, inf).
+  EXPECT_EQ(table.rows()[3].id, 1u);
+  EXPECT_EQ(table.rows()[3].valid(), (Interval{4, 9}));
+}
+
+TEST(BitemporalTest, SnapshotQueries) {
+  BitemporalProvider provider = Figure1();
+  // As currently believed (occurrence time 3+): e0 valid [1, 5).
+  EXPECT_EQ(provider.ValidityAsOf(0, 5).ValueOrDie(), (Interval{1, 5}));
+  // As believed at occurrence time 2: e0 valid [1, 10).
+  EXPECT_EQ(provider.ValidityAsOf(0, 2).ValueOrDie(), (Interval{1, 10}));
+  // "All tuples valid at tv, as of to".
+  EXPECT_EQ(provider.ValidAt(7, 10).size(), 1u);   // only e1
+  EXPECT_EQ(provider.ValidAt(7, 2).size(), 1u);    // e0 under old belief
+  EXPECT_EQ(provider.ValidAt(4, 10).size(), 2u);   // both
+  EXPECT_TRUE(provider.ValidAt(12, 10).empty());
+}
+
+TEST(BitemporalTest, Figure2CorrectionProtocol) {
+  // The Figure 2 narrative: insert at occurrence 1 valid [1, inf);
+  // modify to [1, 10) at occurrence 5; then learn the change actually
+  // happened at occurrence 3.
+  BitemporalProvider provider;
+  ASSERT_TRUE(provider.Insert(0, {1, kInfinity}, 1).ok());
+  ASSERT_TRUE(provider.Modify(0, {1, 10}, 5).ok());
+  ASSERT_TRUE(provider.CorrectChangeTime(0, /*wrong_at=*/5,
+                                         /*actual_at=*/3)
+                  .ok());
+
+  // The corrected belief: [1, inf) during occurrence [1, 3), [1, 10)
+  // from 3 on.
+  EXPECT_EQ(provider.ValidityAsOf(0, 2).ValueOrDie(),
+            (Interval{1, kInfinity}));
+  EXPECT_EQ(provider.ValidityAsOf(0, 3).ValueOrDie(), (Interval{1, 10}));
+  EXPECT_EQ(provider.ValidityAsOf(0, 100).ValueOrDie(), (Interval{1, 10}));
+
+  // The physical stream: insert, the modification's closure retraction
+  // plus its insert, then Figure 2's three-step correction (the paper's
+  // table leaves the closure implicit, so it shows 5 rows to our 6).
+  EXPECT_EQ(provider.stream().size(), 6u);
+  HistoryTable history = provider.History();
+  EXPECT_EQ(history.size(), 6u);
+
+  // Replaying the stream yields the same final belief: the ideal table
+  // has the insert [1,3) and the corrected modification [3, inf).
+  HistoryTable ideal = IdealTable(history, TimeDomain::kOccurrence);
+  ASSERT_EQ(ideal.size(), 2u);
+  EXPECT_EQ(ideal.rows()[0].occurrence(), (Interval{1, 3}));
+  EXPECT_EQ(ideal.rows()[0].valid(), (Interval{1, kInfinity}));
+  EXPECT_EQ(ideal.rows()[1].occurrence(), (Interval{3, kInfinity}));
+  EXPECT_EQ(ideal.rows()[1].valid(), (Interval{1, 10}));
+}
+
+TEST(BitemporalTest, CorrectionEquivalentToCleanDelivery) {
+  // A provider that was right all along.
+  BitemporalProvider clean;
+  ASSERT_TRUE(clean.Insert(0, {1, kInfinity}, 1).ok());
+  ASSERT_TRUE(clean.Modify(0, {1, 10}, 3).ok());
+
+  // A provider that was wrong and corrected itself.
+  BitemporalProvider corrected;
+  ASSERT_TRUE(corrected.Insert(0, {1, kInfinity}, 1).ok());
+  ASSERT_TRUE(corrected.Modify(0, {1, 10}, 5).ok());
+  ASSERT_TRUE(corrected.CorrectChangeTime(0, 5, 3).ok());
+
+  // Logically equivalent to infinity (Definition 1 over the occurrence
+  // domain, ids compared, K projected out).
+  EquivalenceOptions options;
+  options.domain = TimeDomain::kOccurrence;
+  EXPECT_TRUE(
+      LogicallyEquivalent(clean.History(), corrected.History(), options));
+}
+
+TEST(BitemporalTest, SyncPointsAppearInStream) {
+  BitemporalProvider provider;
+  ASSERT_TRUE(provider.Insert(0, {1, 5}, 1).ok());
+  ASSERT_TRUE(provider.DeclareSyncPoint(2).ok());
+  ASSERT_TRUE(provider.Insert(1, {3, 8}, 3).ok());
+  ASSERT_EQ(provider.stream().size(), 3u);
+  EXPECT_EQ(provider.stream()[1].kind, MessageKind::kCti);
+  EXPECT_EQ(provider.stream()[1].time, 2);
+}
+
+TEST(BitemporalTest, ClockMustNotRegress) {
+  BitemporalProvider provider;
+  ASSERT_TRUE(provider.Insert(0, {1, 5}, 10).ok());
+  EXPECT_FALSE(provider.Insert(1, {1, 5}, 9).ok());
+  EXPECT_FALSE(provider.DeclareSyncPoint(5).ok());
+}
+
+TEST(BitemporalTest, ModifyRequiresExistingFact) {
+  BitemporalProvider provider;
+  EXPECT_EQ(provider.Modify(7, {1, 5}, 1).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BitemporalTest, DoubleInsertRejected) {
+  BitemporalProvider provider;
+  ASSERT_TRUE(provider.Insert(0, {1, 5}, 1).ok());
+  EXPECT_EQ(provider.Insert(0, {2, 6}, 2).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(BitemporalTest, CorrectionValidation) {
+  BitemporalProvider provider;
+  ASSERT_TRUE(provider.Insert(0, {1, kInfinity}, 1).ok());
+  ASSERT_TRUE(provider.Modify(0, {1, 10}, 5).ok());
+  // Corrections must move changes earlier.
+  EXPECT_FALSE(provider.CorrectChangeTime(0, 5, 7).ok());
+  // And cannot predate the previous version.
+  EXPECT_FALSE(provider.CorrectChangeTime(0, 5, 0).ok());
+  // Unknown change point.
+  EXPECT_EQ(provider.CorrectChangeTime(0, 4, 2).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BitemporalTest, ChainedModifications) {
+  BitemporalProvider provider;
+  ASSERT_TRUE(provider.Insert(0, {1, kInfinity}, 1).ok());
+  for (Time t = 2; t <= 10; ++t) {
+    ASSERT_TRUE(provider.Modify(0, {1, 20 - t}, t).ok());
+  }
+  // Nine modifications: belief at each occurrence instant matches.
+  for (Time t = 2; t <= 10; ++t) {
+    EXPECT_EQ(provider.ValidityAsOf(0, t).ValueOrDie(),
+              (Interval{1, 20 - t}));
+  }
+  EXPECT_EQ(provider.ConceptualTable().size(), 10u);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,115 @@
+// Property tests over random history tables: algebraic laws of the
+// canonicalization machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "stream/canonical.h"
+#include "stream/equivalence.h"
+#include "stream/sync.h"
+
+namespace cedr {
+namespace {
+
+HistoryTable RandomTable(Rng* rng, int groups, int max_retractions) {
+  HistoryTable table;
+  Time cs = 1;
+  for (int k = 0; k < groups; ++k) {
+    Time os = rng->NextInt(0, 100);
+    Time oe = rng->NextBool(0.2) ? kInfinity
+                                 : TimeAdd(os, rng->NextInt(1, 40));
+    int retractions = static_cast<int>(rng->NextBounded(
+        static_cast<uint64_t>(max_retractions) + 1));
+    for (int r = 0; r <= retractions; ++r) {
+      Event e = MakeBitemporalEvent(static_cast<EventId>(k), 1, kInfinity,
+                                    os, oe);
+      e.k = static_cast<uint64_t>(k);
+      e.cs = cs++;
+      table.Add(e);
+      if (oe == kInfinity) {
+        oe = TimeAdd(os, rng->NextInt(1, 40));
+      } else {
+        oe = std::max(os, oe - rng->NextInt(0, 10));
+      }
+    }
+  }
+  return table;
+}
+
+class CanonicalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CanonicalPropertyTest, ReduceIsIdempotent) {
+  Rng rng(GetParam());
+  HistoryTable table = RandomTable(&rng, 20, 3);
+  HistoryTable once = Reduce(table);
+  HistoryTable twice = Reduce(once);
+  EXPECT_TRUE(ProjectedEquals(once, twice, {.compare_k = true}));
+}
+
+TEST_P(CanonicalPropertyTest, CanonicalToIsIdempotent) {
+  Rng rng(GetParam() + 100);
+  HistoryTable table = RandomTable(&rng, 20, 3);
+  Time t0 = rng.NextInt(0, 120);
+  HistoryTable once = CanonicalTo(table, t0);
+  HistoryTable twice = CanonicalTo(once, t0);
+  EXPECT_TRUE(ProjectedEquals(once, twice, {.compare_k = true}));
+}
+
+TEST_P(CanonicalPropertyTest, TruncationCommutesWithFurtherTruncation) {
+  Rng rng(GetParam() + 200);
+  HistoryTable table = RandomTable(&rng, 20, 3);
+  Time t_small = rng.NextInt(0, 60);
+  Time t_large = TimeAdd(t_small, rng.NextInt(0, 60));
+  HistoryTable direct = CanonicalTo(table, t_small);
+  HistoryTable staged = CanonicalTo(CanonicalTo(table, t_large), t_small);
+  EXPECT_TRUE(ProjectedEquals(direct, staged, {.compare_k = true}));
+}
+
+TEST_P(CanonicalPropertyTest, EquivalenceIsDownwardClosed) {
+  // Equivalent to t implies equivalent to every t' <= t: truncation to a
+  // smaller time discards only information both streams agreed on.
+  Rng rng(GetParam() + 300);
+  HistoryTable a = RandomTable(&rng, 12, 3);
+  // A reshuffled delivery of the same logical stream.
+  std::vector<Event> rows = a.rows();
+  for (size_t i = rows.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(i);
+    std::swap(rows[i - 1], rows[j]);
+  }
+  // Re-stamp arrival order (this may break per-K retraction ordering,
+  // which reduction is insensitive to).
+  Time cs = 1;
+  for (Event& e : rows) e.cs = cs++;
+  HistoryTable b{std::move(rows)};
+  ASSERT_TRUE(LogicallyEquivalent(a, b));
+  for (Time t : {5, 20, 50, 90}) {
+    EXPECT_TRUE(LogicallyEquivalentTo(a, b, t)) << "t=" << t;
+    EXPECT_TRUE(LogicallyEquivalentAt(a, b, t)) << "t=" << t;
+  }
+}
+
+TEST_P(CanonicalPropertyTest, SyncDensityInUnitInterval) {
+  Rng rng(GetParam() + 400);
+  HistoryTable table = RandomTable(&rng, 15, 2);
+  double density = AnnotatedTable::FromHistory(table).SyncPointDensity();
+  EXPECT_GE(density, 0.0);
+  EXPECT_LE(density, 1.0);
+}
+
+TEST_P(CanonicalPropertyTest, IdealTableHasOneRowPerSurvivingGroup) {
+  Rng rng(GetParam() + 500);
+  HistoryTable table = RandomTable(&rng, 25, 3);
+  HistoryTable ideal = IdealTable(table, TimeDomain::kOccurrence);
+  std::set<uint64_t> ks;
+  for (const Event& e : ideal.rows()) {
+    EXPECT_TRUE(ks.insert(e.k).second) << "duplicate K in ideal table";
+    EXPECT_LT(e.os, e.oe);  // no empty intervals survive
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,143 @@
+// Canonicalization and logical equivalence: the worked example of
+// Figures 3, 4 and 5, plus Definition 1, exactly as in Section 4.
+#include "stream/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/equivalence.h"
+
+namespace cedr {
+namespace {
+
+Event OccRow(uint64_t k, Time os, Time oe, Time cs, Time ce) {
+  Event e = MakeBitemporalEvent(/*id=*/0, /*vs=*/1, /*ve=*/kInfinity, os, oe);
+  e.k = k;
+  e.cs = cs;
+  e.ce = ce;
+  return e;
+}
+
+// Figure 3, left table: E0 arrives with O[1,5), then a retraction
+// reduces Oe to 3.
+HistoryTable Figure3Left() {
+  return HistoryTable({OccRow(0, 1, 5, 1, 3), OccRow(0, 1, 3, 3, kInfinity)});
+}
+
+// Figure 3, right table: E0 arrives with O[1,inf), then a retraction
+// reduces Oe to 5.
+HistoryTable Figure3Right() {
+  return HistoryTable(
+      {OccRow(0, 1, kInfinity, 1, 2), OccRow(0, 1, 5, 2, kInfinity)});
+}
+
+TEST(CanonicalTest, ReductionKeepsEarliestEnd) {
+  // Figure 4: reduction keeps, per K, the entry with the earliest Oe.
+  HistoryTable left = Reduce(Figure3Left());
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left.rows()[0].occurrence(), (Interval{1, 3}));
+
+  HistoryTable right = Reduce(Figure3Right());
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_EQ(right.rows()[0].occurrence(), (Interval{1, 5}));
+}
+
+TEST(CanonicalTest, TruncationClampsAndDrops) {
+  // Figure 5: truncation to 3 clamps ends beyond 3.
+  HistoryTable left = CanonicalTo(Figure3Left(), 3);
+  HistoryTable right = CanonicalTo(Figure3Right(), 3);
+  ASSERT_EQ(left.size(), 1u);
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_EQ(left.rows()[0].occurrence(), (Interval{1, 3}));
+  EXPECT_EQ(right.rows()[0].occurrence(), (Interval{1, 3}));
+}
+
+TEST(CanonicalTest, TruncationRemovesRowsStartingBeyond) {
+  HistoryTable table({OccRow(0, 1, 5, 1, kInfinity),
+                      OccRow(1, 7, 9, 2, kInfinity)});
+  HistoryTable truncated = TruncateTo(table, 6);
+  ASSERT_EQ(truncated.size(), 1u);
+  EXPECT_EQ(truncated.rows()[0].k, 0u);
+}
+
+TEST(CanonicalTest, Figure3StreamsLogicallyEquivalentTo3) {
+  // "the two streams associated with the two tables in Figure 3 are
+  // logically equivalent to 3 and at 3."
+  EXPECT_TRUE(LogicallyEquivalentTo(Figure3Left(), Figure3Right(), 3));
+  EXPECT_TRUE(LogicallyEquivalentAt(Figure3Left(), Figure3Right(), 3));
+}
+
+TEST(CanonicalTest, Figure3StreamsNotEquivalentTo5) {
+  // They diverge past occurrence time 3 (Oe 3 vs 5).
+  EXPECT_FALSE(LogicallyEquivalentTo(Figure3Left(), Figure3Right(), 5));
+}
+
+TEST(CanonicalTest, EquivalentToInfinityRequiresSameFinalState) {
+  EXPECT_FALSE(LogicallyEquivalent(Figure3Left(), Figure3Right()));
+  EXPECT_TRUE(LogicallyEquivalent(Figure3Left(), Figure3Left()));
+}
+
+TEST(CanonicalTest, CanonicalAtKeepsOnlyRowsReachingT0) {
+  // A row fully retracted before t0 does not appear "at" t0.
+  HistoryTable table({OccRow(0, 1, 2, 1, kInfinity),   // dead before 3
+                      OccRow(1, 1, 10, 2, kInfinity)});  // alive at 3
+  HistoryTable at = CanonicalAt(table, 3);
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at.rows()[0].k, 1u);
+}
+
+TEST(CanonicalTest, EquivalenceOrderInsensitive) {
+  // Same logical content delivered in different arrival orders.
+  Event a1 = OccRow(0, 1, 4, 1, kInfinity);
+  Event b1 = OccRow(1, 2, 6, 2, kInfinity);
+  Event a2 = OccRow(0, 1, 4, 2, kInfinity);
+  Event b2 = OccRow(1, 2, 6, 1, kInfinity);
+  EXPECT_TRUE(LogicallyEquivalent(HistoryTable({a1, b1}),
+                                  HistoryTable({b2, a2})));
+}
+
+TEST(CanonicalTest, EquivalenceComparesValidTimeToo) {
+  Event a = OccRow(0, 1, 4, 1, kInfinity);
+  Event b = OccRow(0, 1, 4, 1, kInfinity);
+  b.ve = 99;
+  EXPECT_FALSE(LogicallyEquivalent(HistoryTable({a}), HistoryTable({b})));
+}
+
+TEST(CanonicalTest, IdealTableDropsRemovedRows) {
+  // A K group reduced to an empty interval was "completely removed".
+  HistoryTable table({OccRow(0, 5, kInfinity, 1, 2), OccRow(0, 5, 5, 2, kInfinity),
+                      OccRow(1, 3, 8, 3, kInfinity)});
+  HistoryTable ideal = IdealTable(table, TimeDomain::kOccurrence);
+  ASSERT_EQ(ideal.size(), 1u);
+  EXPECT_EQ(ideal.rows()[0].k, 1u);
+  EXPECT_EQ(ideal.rows()[0].cs, 0);  // CEDR time projected out
+}
+
+TEST(CanonicalTest, ShredProducesUnitIntervals) {
+  HistoryTable table({OccRow(0, 2, 5, 1, kInfinity)});
+  HistoryTable shredded = Shred(table, /*horizon=*/100);
+  ASSERT_EQ(shredded.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(shredded.rows()[i].os, static_cast<Time>(2 + i));
+    EXPECT_EQ(shredded.rows()[i].oe, static_cast<Time>(3 + i));
+  }
+}
+
+TEST(CanonicalTest, ShredRespectsHorizonForInfiniteRows) {
+  HistoryTable table({OccRow(0, 1, kInfinity, 1, kInfinity)});
+  HistoryTable shredded = Shred(table, /*horizon=*/4);
+  EXPECT_EQ(shredded.size(), 3u);  // [1,2) [2,3) [3,4)
+}
+
+TEST(CanonicalTest, ReductionTieBreaksTowardLatestArrival) {
+  // Two rows with equal Oe: the most recent physical row wins.
+  Event early = OccRow(0, 1, 5, 1, kInfinity);
+  early.payload = Row(nullptr, {Value(1)});
+  Event late = OccRow(0, 1, 5, 9, kInfinity);
+  late.payload = Row(nullptr, {Value(2)});
+  HistoryTable reduced = Reduce(HistoryTable({early, late}));
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced.rows()[0].payload.at(0), Value(2));
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,140 @@
+// Definition 10: meets, coalesce, and the * operator; plus the
+// interval-set machinery behind set-semantics operators.
+#include "stream/coalesce.h"
+
+#include <gtest/gtest.h>
+
+#include "common/row.h"
+
+namespace cedr {
+namespace {
+
+Row P(int64_t v) { return Row(nullptr, {Value(v)}); }
+
+TEST(MeetsTest, Definition10) {
+  Event a = MakeEvent(1, 1, 5);
+  Event b = MakeEvent(2, 5, 9);
+  EXPECT_TRUE(Meets(a, b));
+  EXPECT_FALSE(Meets(b, a));
+  Event c = MakeEvent(3, 6, 9);
+  EXPECT_FALSE(Meets(a, c));
+}
+
+TEST(CanCoalesceTest, RequiresEqualPayloadAndMeeting) {
+  Event a = MakeEvent(1, 1, 5, P(7));
+  Event b = MakeEvent(2, 5, 9, P(7));
+  Event c = MakeEvent(3, 5, 9, P(8));
+  EXPECT_TRUE(CanCoalesce(a, b));
+  EXPECT_TRUE(CanCoalesce(b, a));  // either direction
+  EXPECT_FALSE(CanCoalesce(a, c));
+}
+
+TEST(StarTest, MergesMeetingEqualPayloads) {
+  std::vector<Event> events = {MakeEvent(1, 1, 5, P(7)),
+                               MakeEvent(2, 5, 9, P(7))};
+  std::vector<Event> starred = Star(events);
+  ASSERT_EQ(starred.size(), 1u);
+  EXPECT_EQ(starred[0].valid(), (Interval{1, 9}));
+}
+
+TEST(StarTest, ChainsAcrossManyFragments) {
+  std::vector<Event> events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back(MakeEvent(i + 1, i, i + 1, P(1)));
+  }
+  std::vector<Event> starred = Star(events);
+  ASSERT_EQ(starred.size(), 1u);
+  EXPECT_EQ(starred[0].valid(), (Interval{0, 10}));
+}
+
+TEST(StarTest, KeepsDistinctPayloadsApart) {
+  std::vector<Event> events = {MakeEvent(1, 1, 5, P(7)),
+                               MakeEvent(2, 5, 9, P(8))};
+  EXPECT_EQ(Star(events).size(), 2u);
+}
+
+TEST(StarTest, UnionsOverlaps) {
+  // Set semantics: overlapping lifetimes of equal payloads are one
+  // membership interval.
+  std::vector<Event> events = {MakeEvent(1, 1, 6, P(7)),
+                               MakeEvent(2, 4, 9, P(7))};
+  std::vector<Event> starred = Star(events);
+  ASSERT_EQ(starred.size(), 1u);
+  EXPECT_EQ(starred[0].valid(), (Interval{1, 9}));
+}
+
+TEST(StarTest, DropsEmptyLifetimes) {
+  std::vector<Event> events = {MakeEvent(1, 5, 5, P(7))};
+  EXPECT_TRUE(Star(events).empty());
+}
+
+TEST(StarTest, Idempotent) {
+  std::vector<Event> events = {MakeEvent(1, 1, 5, P(7)),
+                               MakeEvent(2, 5, 9, P(7)),
+                               MakeEvent(3, 20, 30, P(7))};
+  std::vector<Event> once = Star(events);
+  std::vector<Event> twice = Star(once);
+  EXPECT_EQ(ToRelation(once), ToRelation(twice));
+}
+
+TEST(IntervalSetTest, AddMergesMeetingAndOverlapping) {
+  IntervalSet set;
+  set.Add({1, 3});
+  set.Add({5, 7});
+  EXPECT_EQ(set.intervals().size(), 2u);
+  set.Add({3, 5});  // bridges both
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (Interval{1, 7}));
+}
+
+TEST(IntervalSetTest, AddIgnoresEmpty) {
+  IntervalSet set;
+  set.Add({4, 4});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSetTest, SubtractSplits) {
+  IntervalSet set;
+  set.Add({1, 10});
+  set.Subtract({4, 6});
+  ASSERT_EQ(set.intervals().size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (Interval{1, 4}));
+  EXPECT_EQ(set.intervals()[1], (Interval{6, 10}));
+}
+
+TEST(IntervalSetTest, SubtractEverything) {
+  IntervalSet set;
+  set.Add({1, 10});
+  set.Subtract({0, kInfinity});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSetTest, SubtractEdges) {
+  IntervalSet set;
+  set.Add({1, 10});
+  set.Subtract({1, 3});
+  set.Subtract({8, 10});
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (Interval{3, 8}));
+}
+
+TEST(RelationTest, RoundTrip) {
+  std::vector<Event> events = {MakeEvent(1, 1, 5, P(7)),
+                               MakeEvent(2, 7, 9, P(7)),
+                               MakeEvent(3, 2, 4, P(8))};
+  auto relation = ToRelation(events);
+  EXPECT_EQ(relation.size(), 2u);
+  std::vector<Event> back = FromRelation(relation);
+  EXPECT_EQ(ToRelation(back), relation);
+}
+
+TEST(RelationTest, FromRelationAssignsDeterministicIds) {
+  std::vector<Event> events = {MakeEvent(1, 1, 5, P(7))};
+  auto a = FromRelation(ToRelation(events));
+  auto b = FromRelation(ToRelation(events));
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].id, b[0].id);
+}
+
+}  // namespace
+}  // namespace cedr

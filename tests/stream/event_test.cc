@@ -1,0 +1,54 @@
+#include "stream/event.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+TEST(EventTest, MakeEventDefaults) {
+  Event e = MakeEvent(3, 5, 12);
+  EXPECT_EQ(e.id, 3u);
+  EXPECT_EQ(e.valid(), (Interval{5, 12}));
+  EXPECT_EQ(e.os, 5);
+  EXPECT_EQ(e.oe, kInfinity);
+  EXPECT_EQ(e.k, 3u);
+  EXPECT_EQ(e.rt, 5);
+  EXPECT_TRUE(e.is_primitive());
+}
+
+TEST(EventTest, MakeBitemporalEvent) {
+  Event e = MakeBitemporalEvent(1, 1, 10, 2, 3);
+  EXPECT_EQ(e.occurrence(), (Interval{2, 3}));
+  EXPECT_EQ(e.valid(), (Interval{1, 10}));
+}
+
+TEST(EventTest, ToStringShowsThreeTemporalDimensions) {
+  Event e = MakeEvent(7, 1, kInfinity);
+  e.cs = 4;
+  std::string s = e.ToString();
+  EXPECT_NE(s.find("e7"), std::string::npos);
+  EXPECT_NE(s.find("V[1, inf)"), std::string::npos);
+  EXPECT_NE(s.find("O[1, inf)"), std::string::npos);
+  EXPECT_NE(s.find("C[4, inf)"), std::string::npos);
+}
+
+TEST(IdGenTest, DifferentInputSetsGiveDifferentIds) {
+  EXPECT_NE(IdGen({1, 2}), IdGen({2, 1}));  // order sensitive
+  EXPECT_NE(IdGen({1, 2}), IdGen({1, 3}));
+  EXPECT_NE(IdGen({1}), IdGen({1, 1}));
+  EXPECT_EQ(IdGen({4, 5, 6}), IdGen({4, 5, 6}));  // deterministic
+}
+
+TEST(IdGenTest, HighBitSetAvoidsPrimitiveIdCollisions) {
+  EXPECT_NE(IdGen({1, 2}) & (1ULL << 63), 0u);
+}
+
+TEST(MinRootTimeTest, TakesMinimumOverContributors) {
+  auto a = std::make_shared<const Event>(MakeEvent(1, 10, 20));
+  auto b = std::make_shared<const Event>(MakeEvent(2, 5, 20));
+  EXPECT_EQ(MinRootTime({a, b}, 100), 5);
+  EXPECT_EQ(MinRootTime({}, 100), 100);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,89 @@
+#include "stream/history_table.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+// The valid-domain replay protocol: an insert opens a K group; each
+// retraction closes the CEDR interval of the group's current row and
+// appends the corrected row (Figure 2's mechanism, stated in Section 6's
+// unitemporal terms).
+TEST(HistoryTableTest, ReplayInsertThenRetract) {
+  Event e = MakeEvent(1, 1, kInfinity);
+  std::vector<Message> stream = {InsertOf(e, 1), RetractOf(e, 10, 2)};
+  HistoryTable table = HistoryTable::FromMessages(stream);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.rows()[0].ve, kInfinity);
+  EXPECT_EQ(table.rows()[0].cedr(), (Interval{1, 2}));
+  EXPECT_EQ(table.rows()[1].ve, 10);
+  EXPECT_EQ(table.rows()[1].cedr(), (Interval{2, kInfinity}));
+  EXPECT_EQ(table.rows()[0].k, table.rows()[1].k);
+}
+
+TEST(HistoryTableTest, ChainedRetractionsReduceEndMonotonically) {
+  Event e = MakeEvent(1, 1, 100);
+  std::vector<Message> stream = {InsertOf(e, 1), RetractOf(e, 50, 2),
+                                 RetractOf(e, 20, 3)};
+  HistoryTable table = HistoryTable::FromMessages(stream);
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.rows()[1].ve, 50);
+  EXPECT_EQ(table.rows()[1].ce, 3);
+  EXPECT_EQ(table.rows()[2].ve, 20);
+  EXPECT_EQ(table.rows()[2].ce, kInfinity);
+}
+
+TEST(HistoryTableTest, FullRemovalSetsEmptyInterval) {
+  Event e = MakeEvent(1, 5, 100);
+  std::vector<Message> stream = {InsertOf(e, 1), RetractOf(e, 5, 2)};
+  HistoryTable table = HistoryTable::FromMessages(stream);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.rows()[1].valid().empty());
+}
+
+TEST(HistoryTableTest, OccurrenceDomainReplay) {
+  Event e = MakeBitemporalEvent(1, 1, 10, 1, kInfinity);
+  std::vector<Message> stream = {InsertOf(e, 1), RetractOf(e, 3, 4)};
+  HistoryTable table =
+      HistoryTable::FromMessages(stream, TimeDomain::kOccurrence);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.rows()[1].oe, 3);       // occurrence end reduced
+  EXPECT_EQ(table.rows()[1].ve, 10);      // valid time untouched
+}
+
+TEST(HistoryTableTest, CtisCarryNoRows) {
+  std::vector<Message> stream = {CtiOf(5, 1)};
+  EXPECT_TRUE(HistoryTable::FromMessages(stream).empty());
+}
+
+TEST(HistoryTableTest, RetractionOfUnknownEventIsRecorded) {
+  Event e = MakeEvent(9, 1, 50);
+  std::vector<Message> stream = {RetractOf(e, 10, 3)};
+  HistoryTable table = HistoryTable::FromMessages(stream);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.rows()[0].ve, 10);
+}
+
+TEST(HistoryTableTest, DomainAccessors) {
+  Event e = MakeBitemporalEvent(1, 2, 9, 3, 7);
+  EXPECT_EQ(DomainStart(e, TimeDomain::kValid), 2);
+  EXPECT_EQ(DomainEnd(e, TimeDomain::kValid), 9);
+  EXPECT_EQ(DomainStart(e, TimeDomain::kOccurrence), 3);
+  EXPECT_EQ(DomainEnd(e, TimeDomain::kOccurrence), 7);
+  SetDomainEnd(&e, TimeDomain::kOccurrence, 5);
+  EXPECT_EQ(e.oe, 5);
+  SetDomainEnd(&e, TimeDomain::kValid, 4);
+  EXPECT_EQ(e.ve, 4);
+}
+
+TEST(HistoryTableTest, ToStringSelectsColumns) {
+  Event e = MakeEvent(1, 1, 10);
+  HistoryTable table({e});
+  std::string out = table.ToString({"ID", "Vs", "Ve"});
+  EXPECT_NE(out.find("e1"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_EQ(out.find("Cs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cedr

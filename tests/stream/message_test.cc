@@ -1,0 +1,63 @@
+#include "stream/message.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+TEST(MessageTest, SyncTimes) {
+  Event e = MakeEvent(1, 5, 20);
+  EXPECT_EQ(InsertOf(e).SyncTime(), 5);        // Sync = Vs for inserts
+  EXPECT_EQ(RetractOf(e, 12).SyncTime(), 12);  // Sync = new end for
+                                               // retractions (Figure 6)
+  EXPECT_EQ(CtiOf(9).SyncTime(), 9);
+}
+
+TEST(MessageTest, InsertStampsCedrTime) {
+  Message m = InsertOf(MakeEvent(1, 5, 20), 33);
+  EXPECT_EQ(m.cs, 33);
+  EXPECT_EQ(m.event.cs, 33);
+}
+
+TEST(MessageTest, ToStringMentionsKind) {
+  Event e = MakeEvent(1, 5, 20);
+  EXPECT_NE(InsertOf(e).ToString().find("INSERT"), std::string::npos);
+  EXPECT_NE(RetractOf(e, 7).ToString().find("RETRACT"), std::string::npos);
+  EXPECT_NE(CtiOf(3).ToString().find("CTI"), std::string::npos);
+}
+
+TEST(IsOrderedTest, DetectsOrderAndViolations) {
+  Event a = MakeEvent(1, 1, 10);
+  Event b = MakeEvent(2, 5, 10);
+  EXPECT_TRUE(IsOrdered({InsertOf(a), InsertOf(b)}));
+  EXPECT_FALSE(IsOrdered({InsertOf(b), InsertOf(a)}));
+}
+
+TEST(IsOrderedTest, CtiViolationDetected) {
+  Event a = MakeEvent(1, 5, 10);
+  EXPECT_FALSE(IsOrdered({CtiOf(7), InsertOf(a)}));  // sync 5 < 7
+  EXPECT_TRUE(IsOrdered({CtiOf(3), InsertOf(a)}));
+}
+
+TEST(OrderlinessTest, FullyOrderedIsOne) {
+  Event a = MakeEvent(1, 1, 10);
+  Event b = MakeEvent(2, 2, 10);
+  Event c = MakeEvent(3, 3, 10);
+  EXPECT_DOUBLE_EQ(Orderliness({InsertOf(a), InsertOf(b), InsertOf(c)}), 1.0);
+}
+
+TEST(OrderlinessTest, CountsAdjacentInversions) {
+  Event a = MakeEvent(1, 1, 10);
+  Event b = MakeEvent(2, 2, 10);
+  Event c = MakeEvent(3, 3, 10);
+  // c, a, b: pairs (c,a) inverted, (a,b) ordered -> 1/2.
+  EXPECT_DOUBLE_EQ(Orderliness({InsertOf(c), InsertOf(a), InsertOf(b)}), 0.5);
+}
+
+TEST(OrderlinessTest, TrivialStreams) {
+  EXPECT_DOUBLE_EQ(Orderliness({}), 1.0);
+  EXPECT_DOUBLE_EQ(Orderliness({CtiOf(1)}), 1.0);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,106 @@
+// Annotated history tables and sync points: Figure 6 and Definition 2.
+#include "stream/sync.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+Event OccRow(uint64_t k, Time os, Time oe, Time cs) {
+  Event e = MakeBitemporalEvent(0, 1, kInfinity, os, oe);
+  e.k = k;
+  e.cs = cs;
+  return e;
+}
+
+// Figure 6: K=E0 inserted with O[1,10) at Cs=0..., then a retraction to
+// Oe=5 at Cs=7. Sync = Os for insertions, Oe for retractions.
+AnnotatedTable Figure6() {
+  HistoryTable table({OccRow(0, 1, 10, 0), OccRow(0, 1, 5, 7)});
+  return AnnotatedTable::FromHistory(table);
+}
+
+TEST(SyncTest, Figure6SyncColumn) {
+  AnnotatedTable annotated = Figure6();
+  ASSERT_EQ(annotated.size(), 2u);
+  EXPECT_FALSE(annotated.rows()[0].is_retraction);
+  EXPECT_EQ(annotated.rows()[0].sync, 1);  // insertion: Sync = Os
+  EXPECT_TRUE(annotated.rows()[1].is_retraction);
+  EXPECT_EQ(annotated.rows()[1].sync, 5);  // retraction: Sync = Oe
+}
+
+TEST(SyncTest, Figure6IsFullyOrdered) {
+  // Sorting by Cs equals sorting by <Sync, Cs> here.
+  EXPECT_TRUE(Figure6().IsFullyOrdered());
+}
+
+TEST(SyncTest, Definition2SyncPointTest) {
+  AnnotatedTable annotated = Figure6();
+  // (t0=1..4, T=0..6) separates the insert (Sync 1) from the retraction
+  // (Sync 5, Cs 7).
+  EXPECT_TRUE(annotated.IsSyncPoint(1, 0));
+  EXPECT_TRUE(annotated.IsSyncPoint(4, 6));
+  EXPECT_TRUE(annotated.IsSyncPoint(5, 7));
+  // t0 covering the retraction's sync but not its Cs: violation.
+  EXPECT_FALSE(annotated.IsSyncPoint(5, 6));
+  // T covering the retraction but t0 too small: violation.
+  EXPECT_FALSE(annotated.IsSyncPoint(1, 7));
+}
+
+TEST(SyncTest, OutOfOrderBreaksFullOrder) {
+  // Retraction's sync (3) precedes a later insert's sync (8) in Cs
+  // order... an insert with sync 2 arriving after sync 5 is disorder.
+  HistoryTable table({OccRow(0, 5, kInfinity, 1), OccRow(1, 2, kInfinity, 2)});
+  AnnotatedTable annotated = AnnotatedTable::FromHistory(table);
+  EXPECT_FALSE(annotated.IsFullyOrdered());
+}
+
+TEST(SyncTest, EnumerateSyncPointsFindsSeparators) {
+  HistoryTable table({OccRow(0, 1, kInfinity, 1), OccRow(1, 5, kInfinity, 2),
+                      OccRow(2, 3, kInfinity, 3)});
+  AnnotatedTable annotated = AnnotatedTable::FromHistory(table);
+  auto points = annotated.EnumerateSyncPoints();
+  // After row 1 (prefix syncs {1}), suffix syncs {5,3}: t0 in [1, 3).
+  bool found_first = false;
+  for (const auto& p : points) {
+    if (p.T == 1) {
+      found_first = true;
+      EXPECT_EQ(p.t0_min, 1);
+      EXPECT_EQ(p.t0_max, 3);
+    }
+    // No sync point after row 2: prefix max 5 > suffix min 3.
+    EXPECT_NE(p.T, 2);
+  }
+  EXPECT_TRUE(found_first);
+  // The final split (everything in the past) always qualifies.
+  EXPECT_EQ(points.back().T, 3);
+}
+
+TEST(SyncTest, SyncPointDensityOrderedIsOne) {
+  HistoryTable table({OccRow(0, 1, kInfinity, 1), OccRow(1, 2, kInfinity, 2),
+                      OccRow(2, 3, kInfinity, 3)});
+  EXPECT_DOUBLE_EQ(AnnotatedTable::FromHistory(table).SyncPointDensity(), 1.0);
+}
+
+TEST(SyncTest, SyncPointDensityDropsWithDisorder) {
+  HistoryTable ordered({OccRow(0, 1, kInfinity, 1), OccRow(1, 2, kInfinity, 2),
+                        OccRow(2, 3, kInfinity, 3),
+                        OccRow(3, 4, kInfinity, 4)});
+  HistoryTable disordered({OccRow(0, 3, kInfinity, 1),
+                           OccRow(1, 1, kInfinity, 2),
+                           OccRow(2, 4, kInfinity, 3),
+                           OccRow(3, 2, kInfinity, 4)});
+  double d_ordered = AnnotatedTable::FromHistory(ordered).SyncPointDensity();
+  double d_disordered =
+      AnnotatedTable::FromHistory(disordered).SyncPointDensity();
+  EXPECT_GT(d_ordered, d_disordered);
+}
+
+TEST(SyncTest, ToStringShowsSyncColumn) {
+  std::string out = Figure6().ToString();
+  EXPECT_NE(out.find("Sync"), std::string::npos);
+  EXPECT_NE(out.find("retract"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "stream/equivalence.h"
+#include "workload/disorder.h"
+#include "workload/financial.h"
+#include "workload/machines.h"
+#include "workload/news.h"
+
+namespace cedr {
+namespace {
+
+TEST(DisorderTest, ZeroDisorderPreservesOrder) {
+  std::vector<Message> ordered;
+  for (int i = 0; i < 50; ++i) {
+    ordered.push_back(InsertOf(MakeEvent(i + 1, i * 2, i * 2 + 5)));
+  }
+  DisorderConfig config;
+  config.disorder_fraction = 0;
+  config.max_delay = 0;
+  std::vector<Message> out = ApplyDisorder(ordered, config);
+  EXPECT_TRUE(IsOrdered(out));
+}
+
+TEST(DisorderTest, DisorderReducesOrderliness) {
+  std::vector<Message> ordered;
+  for (int i = 0; i < 200; ++i) {
+    ordered.push_back(InsertOf(MakeEvent(i + 1, i, i + 5)));
+  }
+  DisorderConfig config;
+  config.disorder_fraction = 0.5;
+  config.max_delay = 20;
+  std::vector<Message> out = ApplyDisorder(ordered, config);
+  EXPECT_LT(Orderliness(out), 1.0);
+  EXPECT_GT(Orderliness(out), 0.2);
+}
+
+TEST(DisorderTest, CtisAreSound) {
+  // No message after a CTI may have a smaller sync time.
+  std::vector<Message> ordered;
+  for (int i = 0; i < 300; ++i) {
+    ordered.push_back(InsertOf(MakeEvent(i + 1, i, i + 3)));
+  }
+  DisorderConfig config;
+  config.disorder_fraction = 0.6;
+  config.max_delay = 25;
+  config.cti_period = 10;
+  std::vector<Message> out = ApplyDisorder(ordered, config);
+  Time guarantee = kMinTime;
+  size_t cti_count = 0;
+  for (const Message& m : out) {
+    if (m.kind == MessageKind::kCti) {
+      guarantee = std::max(guarantee, m.time);
+      ++cti_count;
+    } else {
+      EXPECT_GE(m.SyncTime(), guarantee) << m.ToString();
+    }
+  }
+  EXPECT_GT(cti_count, 5u);
+}
+
+TEST(DisorderTest, PreservesLogicalContent) {
+  std::vector<Message> ordered;
+  for (int i = 0; i < 100; ++i) {
+    Event e = MakeEvent(i + 1, i, i + 10);
+    ordered.push_back(InsertOf(e));
+    if (i % 5 == 0) ordered.push_back(RetractOf(e, i + 4));
+  }
+  // Re-sort by sync to satisfy the precondition.
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.SyncTime() < b.SyncTime();
+                   });
+  DisorderConfig config;
+  config.disorder_fraction = 0.5;
+  config.max_delay = 15;
+  std::vector<Message> out = ApplyDisorder(ordered, config);
+  EXPECT_TRUE(LogicallyEquivalent(ordered, out,
+                                  {.domain = TimeDomain::kValid}));
+}
+
+TEST(DisorderTest, RetractionsArriveAfterTheirInsert) {
+  std::vector<Message> ordered;
+  for (int i = 0; i < 100; ++i) {
+    Event e = MakeEvent(i + 1, i, i + 10);
+    ordered.push_back(InsertOf(e));
+    ordered.push_back(RetractOf(e, i + 2));
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.SyncTime() < b.SyncTime();
+                   });
+  DisorderConfig config;
+  config.disorder_fraction = 0.8;
+  config.max_delay = 30;
+  std::vector<Message> out = ApplyDisorder(ordered, config);
+  std::map<EventId, bool> seen_insert;
+  for (const Message& m : out) {
+    if (m.kind == MessageKind::kInsert) seen_insert[m.event.id] = true;
+    if (m.kind == MessageKind::kRetract) {
+      EXPECT_TRUE(seen_insert[m.event.id]) << "retract before insert";
+    }
+  }
+}
+
+TEST(DisorderTest, Deterministic) {
+  std::vector<Message> ordered;
+  for (int i = 0; i < 50; ++i) {
+    ordered.push_back(InsertOf(MakeEvent(i + 1, i, i + 5)));
+  }
+  DisorderConfig config;
+  config.disorder_fraction = 0.5;
+  config.max_delay = 10;
+  auto a = ApplyDisorder(ordered, config);
+  auto b = ApplyDisorder(ordered, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+}
+
+TEST(FinancialTest, QuotesAreSyncOrderedAndTyped) {
+  workload::FinancialConfig config;
+  config.num_quotes = 200;
+  std::vector<Message> quotes = workload::GenerateQuotes(config);
+  EXPECT_GT(quotes.size(), 200u);  // inserts + closing retractions
+  Time last_sync = kMinTime;
+  for (const Message& m : quotes) {
+    EXPECT_GE(m.SyncTime(), last_sync);
+    last_sync = m.SyncTime();
+    if (m.kind == MessageKind::kInsert) {
+      EXPECT_EQ(m.event.payload.schema(), workload::QuoteSchema());
+    }
+  }
+}
+
+TEST(FinancialTest, TtlZeroClosesQuotesViaRetraction) {
+  workload::FinancialConfig config;
+  config.num_symbols = 1;
+  config.num_quotes = 10;
+  config.quote_ttl = 0;
+  std::vector<Message> quotes = workload::GenerateQuotes(config);
+  size_t retracts = 0;
+  for (const Message& m : quotes) {
+    if (m.kind == MessageKind::kRetract) ++retracts;
+  }
+  EXPECT_EQ(retracts, 9u);  // every quote but the last gets closed
+}
+
+TEST(FinancialTest, TradesCanBeBusted) {
+  workload::TradeConfig config;
+  config.num_trades = 500;
+  config.bust_fraction = 0.1;
+  std::vector<Message> trades = workload::GenerateTrades(config);
+  size_t busts = 0;
+  for (const Message& m : trades) {
+    if (m.kind == MessageKind::kRetract) {
+      EXPECT_EQ(m.new_ve, m.event.vs);  // full removal
+      ++busts;
+    }
+  }
+  EXPECT_GT(busts, 20u);
+  EXPECT_LT(busts, 90u);
+}
+
+TEST(MachineTest, StreamsOrderedAndCorrelated) {
+  workload::MachineConfig config;
+  config.num_sessions = 100;
+  workload::MachineStreams streams =
+      workload::GenerateMachineEvents(config);
+  EXPECT_EQ(streams.installs.size(), 100u);
+  EXPECT_EQ(streams.shutdowns.size(), 100u);
+  EXPECT_GT(streams.expected_alerts, 0u);
+  EXPECT_LT(streams.expected_alerts, 100u);
+  for (const auto* stream :
+       {&streams.installs, &streams.shutdowns, &streams.restarts}) {
+    Time last = kMinTime;
+    for (const Message& m : *stream) {
+      EXPECT_GE(m.SyncTime(), last);
+      last = m.SyncTime();
+    }
+  }
+}
+
+TEST(MachineTest, QueryTextMatchesScopes) {
+  std::string text = workload::Cidr07ExampleQuery(12, 5);
+  EXPECT_NE(text.find("12 hours"), std::string::npos);
+  EXPECT_NE(text.find("5 minutes"), std::string::npos);
+  EXPECT_NE(text.find("UNLESS"), std::string::npos);
+}
+
+TEST(NewsTest, IndicatorsFollowNews) {
+  workload::NewsConfig config;
+  config.num_news = 100;
+  config.follow_fraction = 1.0;
+  workload::NewsStreams streams = workload::GenerateNews(config);
+  EXPECT_EQ(streams.news.size(), 100u);
+  EXPECT_EQ(streams.indicators.size(), 100u);
+}
+
+TEST(NewsTest, DeterministicForSeed) {
+  workload::NewsConfig config;
+  auto a = workload::GenerateNews(config);
+  auto b = workload::GenerateNews(config);
+  ASSERT_EQ(a.news.size(), b.news.size());
+  for (size_t i = 0; i < a.news.size(); ++i) {
+    EXPECT_EQ(a.news[i].ToString(), b.news[i].ToString());
+  }
+}
+
+}  // namespace
+}  // namespace cedr
