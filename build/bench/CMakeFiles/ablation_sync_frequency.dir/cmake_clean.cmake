@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_frequency.dir/ablation_sync_frequency.cc.o"
+  "CMakeFiles/ablation_sync_frequency.dir/ablation_sync_frequency.cc.o.d"
+  "ablation_sync_frequency"
+  "ablation_sync_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

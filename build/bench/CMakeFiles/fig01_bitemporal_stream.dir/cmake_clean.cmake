@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_bitemporal_stream.dir/fig01_bitemporal_stream.cc.o"
+  "CMakeFiles/fig01_bitemporal_stream.dir/fig01_bitemporal_stream.cc.o.d"
+  "fig01_bitemporal_stream"
+  "fig01_bitemporal_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_bitemporal_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

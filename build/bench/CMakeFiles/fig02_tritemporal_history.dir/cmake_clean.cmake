@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_tritemporal_history.dir/fig02_tritemporal_history.cc.o"
+  "CMakeFiles/fig02_tritemporal_history.dir/fig02_tritemporal_history.cc.o.d"
+  "fig02_tritemporal_history"
+  "fig02_tritemporal_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tritemporal_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

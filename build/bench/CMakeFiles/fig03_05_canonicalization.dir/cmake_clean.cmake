@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_05_canonicalization.dir/fig03_05_canonicalization.cc.o"
+  "CMakeFiles/fig03_05_canonicalization.dir/fig03_05_canonicalization.cc.o.d"
+  "fig03_05_canonicalization"
+  "fig03_05_canonicalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_05_canonicalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

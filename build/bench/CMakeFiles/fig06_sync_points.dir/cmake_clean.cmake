@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sync_points.dir/fig06_sync_points.cc.o"
+  "CMakeFiles/fig06_sync_points.dir/fig06_sync_points.cc.o.d"
+  "fig06_sync_points"
+  "fig06_sync_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sync_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

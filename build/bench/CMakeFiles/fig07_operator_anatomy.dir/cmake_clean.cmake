@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_operator_anatomy.dir/fig07_operator_anatomy.cc.o"
+  "CMakeFiles/fig07_operator_anatomy.dir/fig07_operator_anatomy.cc.o.d"
+  "fig07_operator_anatomy"
+  "fig07_operator_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_operator_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

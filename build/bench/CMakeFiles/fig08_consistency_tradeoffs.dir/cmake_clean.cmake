@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_consistency_tradeoffs.dir/fig08_consistency_tradeoffs.cc.o"
+  "CMakeFiles/fig08_consistency_tradeoffs.dir/fig08_consistency_tradeoffs.cc.o.d"
+  "fig08_consistency_tradeoffs"
+  "fig08_consistency_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_consistency_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

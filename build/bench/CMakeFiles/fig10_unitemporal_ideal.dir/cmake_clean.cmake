@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_unitemporal_ideal.dir/fig10_unitemporal_ideal.cc.o"
+  "CMakeFiles/fig10_unitemporal_ideal.dir/fig10_unitemporal_ideal.cc.o.d"
+  "fig10_unitemporal_ideal"
+  "fig10_unitemporal_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_unitemporal_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

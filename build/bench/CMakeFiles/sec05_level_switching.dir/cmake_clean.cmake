@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec05_level_switching.dir/sec05_level_switching.cc.o"
+  "CMakeFiles/sec05_level_switching.dir/sec05_level_switching.cc.o.d"
+  "sec05_level_switching"
+  "sec05_level_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec05_level_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec31_language_example.dir/sec31_language_example.cc.o"
+  "CMakeFiles/sec31_language_example.dir/sec31_language_example.cc.o.d"
+  "sec31_language_example"
+  "sec31_language_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec31_language_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

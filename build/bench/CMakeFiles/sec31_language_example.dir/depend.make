@@ -1,0 +1,2 @@
+# Empty dependencies file for sec31_language_example.
+# This may be replaced when dependencies are built.

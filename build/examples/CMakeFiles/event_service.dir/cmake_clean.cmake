@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_service.dir/event_service.cpp.o"
+  "CMakeFiles/event_service.dir/event_service.cpp.o.d"
+  "event_service"
+  "event_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_dashboard.dir/portfolio_dashboard.cpp.o"
+  "CMakeFiles/portfolio_dashboard.dir/portfolio_dashboard.cpp.o.d"
+  "portfolio_dashboard"
+  "portfolio_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/point_engine.cc" "src/CMakeFiles/cedr.dir/baseline/point_engine.cc.o" "gcc" "src/CMakeFiles/cedr.dir/baseline/point_engine.cc.o.d"
+  "/root/repo/src/common/format.cc" "src/CMakeFiles/cedr.dir/common/format.cc.o" "gcc" "src/CMakeFiles/cedr.dir/common/format.cc.o.d"
+  "/root/repo/src/common/row.cc" "src/CMakeFiles/cedr.dir/common/row.cc.o" "gcc" "src/CMakeFiles/cedr.dir/common/row.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/cedr.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/cedr.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cedr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cedr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/time.cc" "src/CMakeFiles/cedr.dir/common/time.cc.o" "gcc" "src/CMakeFiles/cedr.dir/common/time.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/cedr.dir/common/value.cc.o" "gcc" "src/CMakeFiles/cedr.dir/common/value.cc.o.d"
+  "/root/repo/src/consistency/guarantee.cc" "src/CMakeFiles/cedr.dir/consistency/guarantee.cc.o" "gcc" "src/CMakeFiles/cedr.dir/consistency/guarantee.cc.o.d"
+  "/root/repo/src/consistency/monitor.cc" "src/CMakeFiles/cedr.dir/consistency/monitor.cc.o" "gcc" "src/CMakeFiles/cedr.dir/consistency/monitor.cc.o.d"
+  "/root/repo/src/consistency/retraction.cc" "src/CMakeFiles/cedr.dir/consistency/retraction.cc.o" "gcc" "src/CMakeFiles/cedr.dir/consistency/retraction.cc.o.d"
+  "/root/repo/src/consistency/spec.cc" "src/CMakeFiles/cedr.dir/consistency/spec.cc.o" "gcc" "src/CMakeFiles/cedr.dir/consistency/spec.cc.o.d"
+  "/root/repo/src/denotation/ideal.cc" "src/CMakeFiles/cedr.dir/denotation/ideal.cc.o" "gcc" "src/CMakeFiles/cedr.dir/denotation/ideal.cc.o.d"
+  "/root/repo/src/denotation/patterns.cc" "src/CMakeFiles/cedr.dir/denotation/patterns.cc.o" "gcc" "src/CMakeFiles/cedr.dir/denotation/patterns.cc.o.d"
+  "/root/repo/src/denotation/relational.cc" "src/CMakeFiles/cedr.dir/denotation/relational.cc.o" "gcc" "src/CMakeFiles/cedr.dir/denotation/relational.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/cedr.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/cedr.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/query.cc" "src/CMakeFiles/cedr.dir/engine/query.cc.o" "gcc" "src/CMakeFiles/cedr.dir/engine/query.cc.o.d"
+  "/root/repo/src/engine/service.cc" "src/CMakeFiles/cedr.dir/engine/service.cc.o" "gcc" "src/CMakeFiles/cedr.dir/engine/service.cc.o.d"
+  "/root/repo/src/engine/sink.cc" "src/CMakeFiles/cedr.dir/engine/sink.cc.o" "gcc" "src/CMakeFiles/cedr.dir/engine/sink.cc.o.d"
+  "/root/repo/src/engine/source.cc" "src/CMakeFiles/cedr.dir/engine/source.cc.o" "gcc" "src/CMakeFiles/cedr.dir/engine/source.cc.o.d"
+  "/root/repo/src/engine/stats.cc" "src/CMakeFiles/cedr.dir/engine/stats.cc.o" "gcc" "src/CMakeFiles/cedr.dir/engine/stats.cc.o.d"
+  "/root/repo/src/engine/switching.cc" "src/CMakeFiles/cedr.dir/engine/switching.cc.o" "gcc" "src/CMakeFiles/cedr.dir/engine/switching.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/cedr.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/cedr.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/binder.cc" "src/CMakeFiles/cedr.dir/lang/binder.cc.o" "gcc" "src/CMakeFiles/cedr.dir/lang/binder.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/cedr.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/cedr.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/cedr.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/cedr.dir/lang/parser.cc.o.d"
+  "/root/repo/src/ops/aggregate.cc" "src/CMakeFiles/cedr.dir/ops/aggregate.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/aggregate.cc.o.d"
+  "/root/repo/src/ops/alignment_buffer.cc" "src/CMakeFiles/cedr.dir/ops/alignment_buffer.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/alignment_buffer.cc.o.d"
+  "/root/repo/src/ops/alter_lifetime.cc" "src/CMakeFiles/cedr.dir/ops/alter_lifetime.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/alter_lifetime.cc.o.d"
+  "/root/repo/src/ops/difference.cc" "src/CMakeFiles/cedr.dir/ops/difference.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/difference.cc.o.d"
+  "/root/repo/src/ops/groupby.cc" "src/CMakeFiles/cedr.dir/ops/groupby.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/groupby.cc.o.d"
+  "/root/repo/src/ops/join.cc" "src/CMakeFiles/cedr.dir/ops/join.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/join.cc.o.d"
+  "/root/repo/src/ops/operator.cc" "src/CMakeFiles/cedr.dir/ops/operator.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/operator.cc.o.d"
+  "/root/repo/src/ops/project.cc" "src/CMakeFiles/cedr.dir/ops/project.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/project.cc.o.d"
+  "/root/repo/src/ops/select.cc" "src/CMakeFiles/cedr.dir/ops/select.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/select.cc.o.d"
+  "/root/repo/src/ops/union_op.cc" "src/CMakeFiles/cedr.dir/ops/union_op.cc.o" "gcc" "src/CMakeFiles/cedr.dir/ops/union_op.cc.o.d"
+  "/root/repo/src/pattern/cancel_when.cc" "src/CMakeFiles/cedr.dir/pattern/cancel_when.cc.o" "gcc" "src/CMakeFiles/cedr.dir/pattern/cancel_when.cc.o.d"
+  "/root/repo/src/pattern/counting.cc" "src/CMakeFiles/cedr.dir/pattern/counting.cc.o" "gcc" "src/CMakeFiles/cedr.dir/pattern/counting.cc.o.d"
+  "/root/repo/src/pattern/instance.cc" "src/CMakeFiles/cedr.dir/pattern/instance.cc.o" "gcc" "src/CMakeFiles/cedr.dir/pattern/instance.cc.o.d"
+  "/root/repo/src/pattern/negation.cc" "src/CMakeFiles/cedr.dir/pattern/negation.cc.o" "gcc" "src/CMakeFiles/cedr.dir/pattern/negation.cc.o.d"
+  "/root/repo/src/pattern/predicate.cc" "src/CMakeFiles/cedr.dir/pattern/predicate.cc.o" "gcc" "src/CMakeFiles/cedr.dir/pattern/predicate.cc.o.d"
+  "/root/repo/src/pattern/sc_mode.cc" "src/CMakeFiles/cedr.dir/pattern/sc_mode.cc.o" "gcc" "src/CMakeFiles/cedr.dir/pattern/sc_mode.cc.o.d"
+  "/root/repo/src/pattern/sequence.cc" "src/CMakeFiles/cedr.dir/pattern/sequence.cc.o" "gcc" "src/CMakeFiles/cedr.dir/pattern/sequence.cc.o.d"
+  "/root/repo/src/plan/logical.cc" "src/CMakeFiles/cedr.dir/plan/logical.cc.o" "gcc" "src/CMakeFiles/cedr.dir/plan/logical.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/CMakeFiles/cedr.dir/plan/optimizer.cc.o" "gcc" "src/CMakeFiles/cedr.dir/plan/optimizer.cc.o.d"
+  "/root/repo/src/plan/physical.cc" "src/CMakeFiles/cedr.dir/plan/physical.cc.o" "gcc" "src/CMakeFiles/cedr.dir/plan/physical.cc.o.d"
+  "/root/repo/src/plan/rules.cc" "src/CMakeFiles/cedr.dir/plan/rules.cc.o" "gcc" "src/CMakeFiles/cedr.dir/plan/rules.cc.o.d"
+  "/root/repo/src/stream/bitemporal.cc" "src/CMakeFiles/cedr.dir/stream/bitemporal.cc.o" "gcc" "src/CMakeFiles/cedr.dir/stream/bitemporal.cc.o.d"
+  "/root/repo/src/stream/canonical.cc" "src/CMakeFiles/cedr.dir/stream/canonical.cc.o" "gcc" "src/CMakeFiles/cedr.dir/stream/canonical.cc.o.d"
+  "/root/repo/src/stream/coalesce.cc" "src/CMakeFiles/cedr.dir/stream/coalesce.cc.o" "gcc" "src/CMakeFiles/cedr.dir/stream/coalesce.cc.o.d"
+  "/root/repo/src/stream/equivalence.cc" "src/CMakeFiles/cedr.dir/stream/equivalence.cc.o" "gcc" "src/CMakeFiles/cedr.dir/stream/equivalence.cc.o.d"
+  "/root/repo/src/stream/event.cc" "src/CMakeFiles/cedr.dir/stream/event.cc.o" "gcc" "src/CMakeFiles/cedr.dir/stream/event.cc.o.d"
+  "/root/repo/src/stream/history_table.cc" "src/CMakeFiles/cedr.dir/stream/history_table.cc.o" "gcc" "src/CMakeFiles/cedr.dir/stream/history_table.cc.o.d"
+  "/root/repo/src/stream/message.cc" "src/CMakeFiles/cedr.dir/stream/message.cc.o" "gcc" "src/CMakeFiles/cedr.dir/stream/message.cc.o.d"
+  "/root/repo/src/stream/sync.cc" "src/CMakeFiles/cedr.dir/stream/sync.cc.o" "gcc" "src/CMakeFiles/cedr.dir/stream/sync.cc.o.d"
+  "/root/repo/src/workload/disorder.cc" "src/CMakeFiles/cedr.dir/workload/disorder.cc.o" "gcc" "src/CMakeFiles/cedr.dir/workload/disorder.cc.o.d"
+  "/root/repo/src/workload/financial.cc" "src/CMakeFiles/cedr.dir/workload/financial.cc.o" "gcc" "src/CMakeFiles/cedr.dir/workload/financial.cc.o.d"
+  "/root/repo/src/workload/machines.cc" "src/CMakeFiles/cedr.dir/workload/machines.cc.o" "gcc" "src/CMakeFiles/cedr.dir/workload/machines.cc.o.d"
+  "/root/repo/src/workload/news.cc" "src/CMakeFiles/cedr.dir/workload/news.cc.o" "gcc" "src/CMakeFiles/cedr.dir/workload/news.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for cedr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_testing.dir/testing/helpers.cc.o"
+  "CMakeFiles/cedr_testing.dir/testing/helpers.cc.o.d"
+  "libcedr_testing.a"
+  "libcedr_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

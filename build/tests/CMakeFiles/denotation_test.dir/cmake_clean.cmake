@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denotation_test.dir/denotation/patterns_test.cc.o"
+  "CMakeFiles/denotation_test.dir/denotation/patterns_test.cc.o.d"
+  "CMakeFiles/denotation_test.dir/denotation/relational_test.cc.o"
+  "CMakeFiles/denotation_test.dir/denotation/relational_test.cc.o.d"
+  "denotation_test"
+  "denotation_test.pdb"
+  "denotation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_test.dir/ops/alignment_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/alignment_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/consistency_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/consistency_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/operator_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/operator_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/relational_ops_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/relational_ops_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/strong_invariants_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/strong_invariants_test.cc.o.d"
+  "ops_test"
+  "ops_test.pdb"
+  "ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pattern/counting_test.cc" "tests/CMakeFiles/pattern_test.dir/pattern/counting_test.cc.o" "gcc" "tests/CMakeFiles/pattern_test.dir/pattern/counting_test.cc.o.d"
+  "/root/repo/tests/pattern/instance_test.cc" "tests/CMakeFiles/pattern_test.dir/pattern/instance_test.cc.o" "gcc" "tests/CMakeFiles/pattern_test.dir/pattern/instance_test.cc.o.d"
+  "/root/repo/tests/pattern/negation_stress_test.cc" "tests/CMakeFiles/pattern_test.dir/pattern/negation_stress_test.cc.o" "gcc" "tests/CMakeFiles/pattern_test.dir/pattern/negation_stress_test.cc.o.d"
+  "/root/repo/tests/pattern/negation_test.cc" "tests/CMakeFiles/pattern_test.dir/pattern/negation_test.cc.o" "gcc" "tests/CMakeFiles/pattern_test.dir/pattern/negation_test.cc.o.d"
+  "/root/repo/tests/pattern/predicate_test.cc" "tests/CMakeFiles/pattern_test.dir/pattern/predicate_test.cc.o" "gcc" "tests/CMakeFiles/pattern_test.dir/pattern/predicate_test.cc.o.d"
+  "/root/repo/tests/pattern/sequence_test.cc" "tests/CMakeFiles/pattern_test.dir/pattern/sequence_test.cc.o" "gcc" "tests/CMakeFiles/pattern_test.dir/pattern/sequence_test.cc.o.d"
+  "/root/repo/tests/pattern/unless_prime_test.cc" "tests/CMakeFiles/pattern_test.dir/pattern/unless_prime_test.cc.o" "gcc" "tests/CMakeFiles/pattern_test.dir/pattern/unless_prime_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cedr.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/cedr_testing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_test.dir/pattern/counting_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/counting_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/instance_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/instance_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/negation_stress_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/negation_stress_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/negation_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/negation_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/predicate_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/predicate_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/sequence_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/sequence_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/unless_prime_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/unless_prime_test.cc.o.d"
+  "pattern_test"
+  "pattern_test.pdb"
+  "pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

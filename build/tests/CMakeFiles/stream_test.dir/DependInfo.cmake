@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stream/bitemporal_test.cc" "tests/CMakeFiles/stream_test.dir/stream/bitemporal_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/bitemporal_test.cc.o.d"
+  "/root/repo/tests/stream/canonical_property_test.cc" "tests/CMakeFiles/stream_test.dir/stream/canonical_property_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/canonical_property_test.cc.o.d"
+  "/root/repo/tests/stream/canonical_test.cc" "tests/CMakeFiles/stream_test.dir/stream/canonical_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/canonical_test.cc.o.d"
+  "/root/repo/tests/stream/coalesce_test.cc" "tests/CMakeFiles/stream_test.dir/stream/coalesce_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/coalesce_test.cc.o.d"
+  "/root/repo/tests/stream/event_test.cc" "tests/CMakeFiles/stream_test.dir/stream/event_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/event_test.cc.o.d"
+  "/root/repo/tests/stream/history_test.cc" "tests/CMakeFiles/stream_test.dir/stream/history_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/history_test.cc.o.d"
+  "/root/repo/tests/stream/message_test.cc" "tests/CMakeFiles/stream_test.dir/stream/message_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/message_test.cc.o.d"
+  "/root/repo/tests/stream/sync_test.cc" "tests/CMakeFiles/stream_test.dir/stream/sync_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/sync_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cedr.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/cedr_testing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

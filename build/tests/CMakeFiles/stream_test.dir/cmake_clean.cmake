@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_test.dir/stream/bitemporal_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/bitemporal_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/canonical_property_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/canonical_property_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/canonical_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/canonical_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/coalesce_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/coalesce_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/event_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/event_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/history_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/history_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/message_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/message_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/sync_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/sync_test.cc.o.d"
+  "stream_test"
+  "stream_test.pdb"
+  "stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

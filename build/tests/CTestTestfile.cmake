@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/denotation_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
