@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Execution error";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kDataLoss:
+      return "Data loss";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

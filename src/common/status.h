@@ -22,6 +22,12 @@ enum class StatusCode {
   kPlanError,
   kExecutionError,
   kInternal,
+  /// Durable state (snapshot/journal) is missing or truncated: recovery
+  /// cannot reconstruct the service without losing acknowledged input.
+  kDataLoss,
+  /// Durable state is present but fails validation (bad magic, version,
+  /// or checksum): it must not be restored.
+  kCorruption,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -69,6 +75,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -34,4 +34,24 @@ Time GuaranteeTracker::MaxWatermark() const {
   return w;
 }
 
+void GuaranteeTracker::Snapshot(io::BinaryWriter* w) const {
+  w->PutU64(guarantees_.size());
+  for (Time t : guarantees_) w->PutTime(t);
+  for (Time t : watermarks_) w->PutTime(t);
+}
+
+Status GuaranteeTracker::Restore(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  if (n != guarantees_.size()) {
+    return Status::Corruption("guarantee tracker: port count mismatch");
+  }
+  for (Time& t : guarantees_) {
+    CEDR_ASSIGN_OR_RETURN(t, r->GetTime());
+  }
+  for (Time& t : watermarks_) {
+    CEDR_ASSIGN_OR_RETURN(t, r->GetTime());
+  }
+  return Status::OK();
+}
+
 }  // namespace cedr

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "io/serde.h"
 
 namespace cedr {
 
@@ -37,6 +38,12 @@ class GuaranteeTracker {
   /// Max over ports: the operator's notion of "now" (used for
   /// optimistic emission deadlines).
   Time MaxWatermark() const;
+
+  /// Serializes per-port guarantees and watermarks for checkpointing.
+  void Snapshot(io::BinaryWriter* w) const;
+  /// Restores into a tracker constructed with the same port count;
+  /// kCorruption on a port-count mismatch.
+  Status Restore(io::BinaryReader* r);
 
  private:
   std::vector<Time> guarantees_;

@@ -50,6 +50,24 @@ size_t ConsistencyMonitor::BufferedCount() const {
   return n;
 }
 
+void ConsistencyMonitor::Snapshot(io::BinaryWriter* w) const {
+  tracker_.Snapshot(w);
+  w->PutU64(buffers_.size());
+  for (const auto& b : buffers_) b->Snapshot(w);
+}
+
+Status ConsistencyMonitor::Restore(io::BinaryReader* r) {
+  CEDR_RETURN_NOT_OK(tracker_.Restore(r));
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  if (n != buffers_.size()) {
+    return Status::Corruption("consistency monitor: port count mismatch");
+  }
+  for (auto& b : buffers_) {
+    CEDR_RETURN_NOT_OK(b->Restore(r));
+  }
+  return Status::OK();
+}
+
 AlignmentStats ConsistencyMonitor::CombinedBufferStats() const {
   AlignmentStats out;
   for (const auto& b : buffers_) {

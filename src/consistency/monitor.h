@@ -50,6 +50,12 @@ class ConsistencyMonitor {
   size_t BufferedCount() const;
   AlignmentStats CombinedBufferStats() const;
 
+  /// Serializes the guarantee tracker and every port's alignment buffer.
+  void Snapshot(io::BinaryWriter* w) const;
+  /// Restores into a monitor constructed with the same spec and port
+  /// count; kCorruption on a port-count mismatch.
+  Status Restore(io::BinaryReader* r);
+
  private:
   ConsistencySpec spec_;  // effective (B clamped to M)
   std::vector<std::unique_ptr<AlignmentBuffer>> buffers_;

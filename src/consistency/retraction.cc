@@ -104,4 +104,25 @@ size_t RepairableOutput::StateSize() const {
   return n;
 }
 
+void RepairableOutput::Snapshot(io::BinaryWriter* w) const {
+  w->PutU64(fresh_counter_);
+  w->PutU64(emitted_.size());
+  for (const auto& [group, live] : emitted_) {
+    io::WriteValues(w, group);
+    io::WriteEvents(w, live);
+  }
+}
+
+Status RepairableOutput::Restore(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(fresh_counter_, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  emitted_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    CEDR_ASSIGN_OR_RETURN(std::vector<Value> group, io::ReadValues(r));
+    CEDR_ASSIGN_OR_RETURN(std::vector<Event> live, io::ReadEvents(r));
+    emitted_.emplace(std::move(group), std::move(live));
+  }
+  return Status::OK();
+}
+
 }  // namespace cedr

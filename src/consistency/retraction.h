@@ -20,6 +20,7 @@
 #include <map>
 #include <vector>
 
+#include "io/serde.h"
 #include "stream/coalesce.h"
 #include "stream/event.h"
 
@@ -45,6 +46,11 @@ class RepairableOutput {
 
   /// Number of emitted events still tracked.
   size_t StateSize() const;
+
+  /// Serializes the emitted-event bookkeeping and the fresh-id counter
+  /// (the counter makes repair ids deterministic across recovery).
+  void Snapshot(io::BinaryWriter* w) const;
+  Status Restore(io::BinaryReader* r);
 
  private:
   std::map<std::vector<Value>, std::vector<Event>> emitted_;

@@ -1,0 +1,185 @@
+#include "engine/durable.h"
+
+#include "common/format.h"
+
+namespace cedr {
+
+DurableService::DurableService(DurableOptions options)
+    : options_(options), service_(std::make_unique<CedrService>()) {
+  // The empty service is trivially checkpointable: recovery always has
+  // a snapshot to start from, even before the first sync point.
+  Checkpoint().ok();
+}
+
+DurableService::DurableService(DurableOptions options,
+                               std::unique_ptr<CedrService> svc)
+    : options_(options), service_(std::move(svc)) {}
+
+Status DurableService::Checkpoint() {
+  io::BinaryWriter payload;
+  payload.PutU64(journal_.next_index());
+  CEDR_RETURN_NOT_OK(service_->Checkpoint(&payload));
+  std::string sealed = io::SealSnapshot(payload.Take());
+  // Commit point: only after the new snapshot is fully sealed does the
+  // journal truncate. A crash mid-checkpoint leaves the old pair.
+  uint64_t base = journal_.next_index();
+  snapshot_ = std::move(sealed);
+  journal_.Reset(base);
+  sync_points_since_checkpoint_ = 0;
+  ++checkpoints_taken_;
+  return Status::OK();
+}
+
+Status DurableService::Log(const io::JournalRecord& record) {
+  journal_.Append(record);
+  if (record.op == io::JournalOp::kSyncPoint &&
+      options_.checkpoint_every_sync_points > 0) {
+    if (++sync_points_since_checkpoint_ >=
+        options_.checkpoint_every_sync_points) {
+      return Checkpoint();
+    }
+  }
+  return Status::OK();
+}
+
+Status DurableService::RegisterEventType(const std::string& name,
+                                         SchemaPtr schema) {
+  CEDR_RETURN_NOT_OK(service_->RegisterEventType(name, schema));
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kRegisterType;
+  rec.name = name;
+  rec.schema = std::move(schema);
+  return Log(rec);
+}
+
+Result<std::string> DurableService::RegisterQuery(
+    const std::string& text, std::optional<ConsistencySpec> spec_override) {
+  CEDR_ASSIGN_OR_RETURN(std::string name,
+                        service_->RegisterQuery(text, spec_override));
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kRegisterQuery;
+  rec.name = name;
+  rec.text = text;
+  rec.has_spec = spec_override.has_value();
+  if (rec.has_spec) rec.spec = *spec_override;
+  CEDR_RETURN_NOT_OK(Log(rec));
+  return name;
+}
+
+Status DurableService::UnregisterQuery(const std::string& name) {
+  CEDR_RETURN_NOT_OK(service_->UnregisterQuery(name));
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kUnregisterQuery;
+  rec.name = name;
+  return Log(rec);
+}
+
+Status DurableService::Publish(const std::string& type, Event event) {
+  CEDR_RETURN_NOT_OK(service_->Publish(type, event));
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kPublish;
+  rec.name = type;
+  rec.event = std::move(event);
+  return Log(rec);
+}
+
+Status DurableService::PublishRetraction(const std::string& type,
+                                         const Event& original,
+                                         Time new_end) {
+  CEDR_RETURN_NOT_OK(service_->PublishRetraction(type, original, new_end));
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kRetract;
+  rec.name = type;
+  rec.event = original;
+  rec.new_ve = new_end;
+  return Log(rec);
+}
+
+Status DurableService::PublishSyncPoint(const std::string& type, Time t) {
+  CEDR_RETURN_NOT_OK(service_->PublishSyncPoint(type, t));
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kSyncPoint;
+  rec.name = type;
+  rec.time = t;
+  return Log(rec);
+}
+
+Status DurableService::Finish() {
+  CEDR_RETURN_NOT_OK(service_->Finish());
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kFinish;
+  return Log(rec);
+}
+
+Status DurableService::Apply(const io::JournalRecord& record) {
+  switch (record.op) {
+    case io::JournalOp::kRegisterType:
+      return service_->RegisterEventType(record.name, record.schema);
+    case io::JournalOp::kRegisterQuery: {
+      std::optional<ConsistencySpec> spec;
+      if (record.has_spec) spec = record.spec;
+      return service_->RegisterQuery(record.text, spec).status();
+    }
+    case io::JournalOp::kUnregisterQuery:
+      return service_->UnregisterQuery(record.name);
+    case io::JournalOp::kPublish:
+      return service_->Publish(record.name, record.event);
+    case io::JournalOp::kRetract:
+      return service_->PublishRetraction(record.name, record.event,
+                                         record.new_ve);
+    case io::JournalOp::kSyncPoint:
+      return service_->PublishSyncPoint(record.name, record.time);
+    case io::JournalOp::kFinish:
+      return service_->Finish();
+  }
+  return Status::Corruption("journal record has an unknown op");
+}
+
+Result<std::unique_ptr<DurableService>> DurableService::Recover(
+    const std::string& snapshot_bytes, const std::string& journal_bytes,
+    DurableOptions options) {
+  CEDR_ASSIGN_OR_RETURN(std::string payload,
+                        io::OpenSnapshot(snapshot_bytes));
+  io::BinaryReader reader(payload);
+  CEDR_ASSIGN_OR_RETURN(uint64_t base_index, reader.GetU64());
+  CEDR_ASSIGN_OR_RETURN(std::unique_ptr<CedrService> svc,
+                        CedrService::Restore(&reader));
+  CEDR_RETURN_NOT_OK(reader.ExpectEnd());
+
+  CEDR_ASSIGN_OR_RETURN(io::JournalContents journal,
+                        io::ReadJournal(journal_bytes));
+  if (journal.base_index != base_index) {
+    return Status::DataLoss(
+        StrCat("journal starts at record ", journal.base_index,
+               " but the snapshot was taken at record ", base_index,
+               " (mismatched snapshot/journal pair)"));
+  }
+
+  auto durable = std::unique_ptr<DurableService>(
+      new DurableService(options, std::move(svc)));
+  durable->snapshot_ = snapshot_bytes;
+  durable->journal_.Reset(base_index);
+  uint64_t index = base_index;
+  for (const io::JournalRecord& record : journal.records) {
+    // Journaled calls were accepted before the crash, so a replay
+    // failure means the durable state lies about history.
+    Status applied = durable->Apply(record);
+    if (!applied.ok()) {
+      return Status::Corruption(
+          StrCat("journal record ", index, " no longer replays: ",
+                 applied.ToString()));
+    }
+    // Re-append so a second crash after recovery also recovers. The
+    // sync-point barrier counter stays below the checkpoint threshold
+    // here by construction: the original run checkpointed (and
+    // truncated) right after the threshold was reached.
+    durable->journal_.Append(record);
+    if (record.op == io::JournalOp::kSyncPoint) {
+      ++durable->sync_points_since_checkpoint_;
+    }
+    ++index;
+  }
+  return durable;
+}
+
+}  // namespace cedr

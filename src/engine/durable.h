@@ -1,0 +1,94 @@
+// DurableService: crash-recoverable wrapper around CedrService.
+//
+// Durability = a sealed snapshot (the last checkpoint) plus an input
+// journal of every accepted ingress call since that checkpoint.
+// Recovery restores the snapshot and replays the journal suffix;
+// because event identities are deterministic (composite ids derive
+// from contributor ids, repair ids from journaled counters, arrival
+// stamps from the checkpointed cs counter), the recovered service
+// re-emits the exact messages of the original run.
+//
+// Checkpoints are taken at sync-point barriers: after every
+// `checkpoint_every_sync_points` accepted sync points the service state
+// is snapshotted and the journal truncated. Sync points are where the
+// consistency spectrum converges (the alignment buffers' guarantees are
+// explicit state), so the barrier is well-defined at every level.
+#ifndef CEDR_ENGINE_DURABLE_H_
+#define CEDR_ENGINE_DURABLE_H_
+
+#include <memory>
+
+#include "engine/service.h"
+#include "io/journal.h"
+#include "io/snapshot.h"
+
+namespace cedr {
+
+struct DurableOptions {
+  /// Take a checkpoint after this many accepted sync points (across all
+  /// event types). 0 disables automatic checkpoints (journal-only; the
+  /// journal then grows until a manual Checkpoint()).
+  int checkpoint_every_sync_points = 1;
+};
+
+class DurableService {
+ public:
+  explicit DurableService(DurableOptions options = {});
+
+  /// Rebuilds a service from durable bytes: opens and validates the
+  /// snapshot, restores the checkpointed service, then replays every
+  /// journaled call after the snapshot's base index. kDataLoss when
+  /// bytes are missing/truncated or the journal does not pair with the
+  /// snapshot; kCorruption when bytes are present but fail validation.
+  static Result<std::unique_ptr<DurableService>> Recover(
+      const std::string& snapshot_bytes, const std::string& journal_bytes,
+      DurableOptions options = {});
+
+  // Ingress API: mirrors CedrService; accepted calls are journaled.
+  Status RegisterEventType(const std::string& name, SchemaPtr schema);
+  Result<std::string> RegisterQuery(
+      const std::string& text,
+      std::optional<ConsistencySpec> spec_override = std::nullopt);
+  Status UnregisterQuery(const std::string& name);
+  Status Publish(const std::string& type, Event event);
+  Status PublishRetraction(const std::string& type, const Event& original,
+                           Time new_end);
+  Status PublishSyncPoint(const std::string& type, Time t);
+  Status Finish();
+
+  /// Takes a checkpoint now: reseals the snapshot and truncates the
+  /// journal. Fails (leaving the previous snapshot intact) when any
+  /// registered query cannot be checkpointed.
+  Status Checkpoint();
+
+  const CedrService& service() const { return *service_; }
+
+  /// The durable bytes a crash leaves behind. Mutable accessors exist
+  /// for the fault-injection harness to corrupt or truncate them.
+  const std::string& snapshot_bytes() const { return snapshot_; }
+  const std::string& journal_bytes() const { return journal_.bytes(); }
+  std::string* mutable_snapshot_bytes() { return &snapshot_; }
+  std::string* mutable_journal_bytes() { return journal_.mutable_bytes(); }
+
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  uint64_t journal_records() const { return journal_.num_records(); }
+
+ private:
+  DurableService(DurableOptions options, std::unique_ptr<CedrService> svc);
+
+  /// Applies one journaled call to the service (used by replay).
+  Status Apply(const io::JournalRecord& record);
+  /// Journals an accepted call and advances the sync-point barrier.
+  Status Log(const io::JournalRecord& record);
+
+  DurableOptions options_;
+  std::unique_ptr<CedrService> service_;
+  std::string snapshot_;
+  io::JournalWriter journal_;
+  int sync_points_since_checkpoint_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_DURABLE_H_

@@ -11,7 +11,10 @@ Result<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
   CEDR_ASSIGN_OR_RETURN(ast::Query ast, ParseQuery(text));
   CEDR_ASSIGN_OR_RETURN(plan::BoundQuery bound, Bind(ast, catalog));
   if (spec_override.has_value()) bound.spec = *spec_override;
-  return FromBound(std::move(bound));
+  CEDR_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> query,
+                        FromBound(std::move(bound)));
+  query->text_ = text;
+  return query;
 }
 
 Result<std::unique_ptr<CompiledQuery>> CompiledQuery::FromBound(
@@ -70,6 +73,42 @@ QueryStats CompiledQuery::Stats() const {
   ops.reserve(physical_->operators.size());
   for (const auto& op : physical_->operators) ops.push_back(op.get());
   return CollectStats(ops);
+}
+
+Status CompiledQuery::Snapshot(io::BinaryWriter* w) const {
+  w->PutTime(last_cs_);
+  w->PutBool(finished_);
+  w->PutU64(physical_->operators.size());
+  for (const auto& op : physical_->operators) {
+    io::BinaryWriter frame;
+    op->Snapshot(&frame);
+    w->PutString(frame.Take());
+  }
+  io::BinaryWriter sink_frame;
+  sink_->Snapshot(&sink_frame);
+  w->PutString(sink_frame.Take());
+  return Status::OK();
+}
+
+Status CompiledQuery::Restore(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(last_cs_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(finished_, r->GetBool());
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_ops, r->GetU64());
+  if (num_ops != physical_->operators.size()) {
+    return Status::Corruption(
+        StrCat("query snapshot has ", num_ops, " operators, plan has ",
+               physical_->operators.size()));
+  }
+  for (auto& op : physical_->operators) {
+    CEDR_ASSIGN_OR_RETURN(std::string frame, r->GetString());
+    io::BinaryReader frame_reader(frame);
+    CEDR_RETURN_NOT_OK(op->Restore(&frame_reader));
+    CEDR_RETURN_NOT_OK(frame_reader.ExpectEnd());
+  }
+  CEDR_ASSIGN_OR_RETURN(std::string sink_bytes, r->GetString());
+  io::BinaryReader sink_reader(sink_bytes);
+  CEDR_RETURN_NOT_OK(sink_->Restore(&sink_reader));
+  return sink_reader.ExpectEnd();
 }
 
 std::vector<std::string> CompiledQuery::InputTypes() const {

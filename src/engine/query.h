@@ -35,6 +35,9 @@ class CompiledQuery {
   Status Finish();
 
   const CollectingSink& sink() const { return *sink_; }
+  /// The registered query text; empty for FromBound (programmatic)
+  /// queries, which cannot be checkpointed.
+  const std::string& text() const { return text_; }
   const plan::BoundQuery& bound() const { return bound_; }
   const plan::PhysicalPlan& physical() const { return *physical_; }
   const plan::OptimizeResult& optimize_result() const {
@@ -47,9 +50,19 @@ class CompiledQuery {
   /// Input event types this query listens to.
   std::vector<std::string> InputTypes() const;
 
+  /// Serializes the runtime state of every operator in the plan (each in
+  /// its own length-prefixed frame) plus the sink and query bookkeeping.
+  /// The plan structure itself is not serialized: recompiling the query
+  /// text deterministically rebuilds it, and Restore refills the state.
+  Status Snapshot(io::BinaryWriter* w) const;
+  /// Restores a Snapshot into a freshly recompiled query with the same
+  /// text and spec. kCorruption when the plan shape does not match.
+  Status Restore(io::BinaryReader* r);
+
  private:
   CompiledQuery() = default;
 
+  std::string text_;
   plan::BoundQuery bound_;
   plan::OptimizeResult optimize_result_;
   std::unique_ptr<plan::PhysicalPlan> physical_;

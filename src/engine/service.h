@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "engine/query.h"
 
@@ -51,13 +52,33 @@ class CedrService {
   const Catalog& catalog() const { return catalog_; }
   Time now() const { return next_cs_; }
 
+  /// Serializes the full service state: catalog, ingress bookkeeping,
+  /// and every registered query's text, spec, and operator state. Taken
+  /// at a message boundary (typically a sync-point barrier), the
+  /// snapshot is well-defined at every consistency level. Fails with
+  /// ExecutionError when a query was built programmatically (no text to
+  /// recompile on restore).
+  Status Checkpoint(io::BinaryWriter* w) const;
+  /// Rebuilds a service from a Checkpoint: re-registers the catalog,
+  /// recompiles every query (plans are deterministic), then restores
+  /// operator state. Because composite ids derive from contributor ids
+  /// and repair ids from journaled counters, the restored service
+  /// re-emits identical event identities for identical input.
+  static Result<std::unique_ptr<CedrService>> Restore(io::BinaryReader* r);
+
  private:
+  Status CheckIngress(const std::string& type) const;
   Status Route(const std::string& type, const Message& msg);
 
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<CompiledQuery>> queries_;
   Time next_cs_ = 1;
   bool finished_ = false;
+  /// Ingress hardening state: ids ever published per type (retractions
+  /// must reference one) and the last sync point per type (sync points
+  /// must strictly advance).
+  std::map<std::string, std::set<EventId>> published_;
+  std::map<std::string, Time> last_sync_;
 };
 
 }  // namespace cedr

@@ -44,4 +44,26 @@ void CollectingSink::Clear() {
   inserts_ = retracts_ = ctis_ = 0;
 }
 
+void CollectingSink::SnapshotState(io::BinaryWriter* w) const {
+  w->PutU64(messages_.size());
+  for (const Message& m : messages_) io::WriteMessage(w, m);
+  w->PutU64(inserts_);
+  w->PutU64(retracts_);
+  w->PutU64(ctis_);
+}
+
+Status CollectingSink::RestoreState(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  messages_.clear();
+  messages_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    CEDR_ASSIGN_OR_RETURN(Message m, io::ReadMessage(r));
+    messages_.push_back(std::move(m));
+  }
+  CEDR_ASSIGN_OR_RETURN(inserts_, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(retracts_, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(ctis_, r->GetU64());
+  return Status::OK();
+}
+
 }  // namespace cedr

@@ -36,6 +36,10 @@ class CollectingSink : public Operator {
   Status ProcessInsert(const Event& e, int port) override;
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
   Status ProcessCti(Time t, int port) override;
+  /// Serializes the recorded output stream, so a recovered service
+  /// resumes with the pre-crash output intact.
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   std::vector<Message> messages_;

@@ -40,7 +40,32 @@ Status SwitchableQuery::Push(const std::string& event_type,
   if (finished_) return Status::ExecutionError("query already finished");
   last_cs_ = std::max(last_cs_, msg.cs);
   input_.emplace_back(event_type, msg);
-  return active_->Push(event_type, msg);
+  CEDR_RETURN_NOT_OK(active_->Push(event_type, msg));
+  if (msg.kind == MessageKind::kCti) {
+    Time& known = input_ctis_[event_type];
+    known = std::max(known, msg.time);
+    MaybeAdvanceBarrier();
+  }
+  return Status::OK();
+}
+
+void SwitchableQuery::MaybeAdvanceBarrier() {
+  // The common sync point: the minimum sync point over every input
+  // type. Section 5's switching argument holds exactly at these
+  // barriers, and the plan snapshot there makes the input before it
+  // redundant.
+  Time frontier = kInfinity;
+  for (const std::string& type : active_->InputTypes()) {
+    auto it = input_ctis_.find(type);
+    if (it == input_ctis_.end()) return;  // a type has no sync point yet
+    frontier = std::min(frontier, it->second);
+  }
+  if (frontier <= barrier_cti_) return;
+  io::BinaryWriter w;
+  if (!active_->Snapshot(&w).ok()) return;  // keep replaying from input_
+  barrier_state_ = w.Take();
+  barrier_cti_ = frontier;
+  input_.clear();
 }
 
 Result<Time> SwitchableQuery::SwitchTo(ConsistencySpec spec) {
@@ -52,11 +77,17 @@ Result<Time> SwitchableQuery::SwitchTo(ConsistencySpec spec) {
   // replayed predecessor already produced).
   spliced_.Append(active_->sink().messages());
 
-  // Start the new level and bring it up to date by replaying the
-  // retained input; determinism lines its identities up with the
+  // Start the new level and bring it up to date: restore the barrier
+  // snapshot (the state at the last common sync point), then replay the
+  // retained suffix; determinism lines its identities up with the
   // retired plan's.
   CEDR_ASSIGN_OR_RETURN(auto fresh,
                         CompiledQuery::Compile(text_, catalog_, spec));
+  if (!barrier_state_.empty()) {
+    io::BinaryReader reader(barrier_state_);
+    CEDR_RETURN_NOT_OK(fresh->Restore(&reader));
+    CEDR_RETURN_NOT_OK(reader.ExpectEnd());
+  }
   for (const auto& [type, msg] : input_) {
     CEDR_RETURN_NOT_OK(fresh->Push(type, msg));
   }

@@ -18,6 +18,7 @@
 #ifndef CEDR_ENGINE_SWITCHING_H_
 #define CEDR_ENGINE_SWITCHING_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -53,6 +54,12 @@ class SwitchableQuery {
   QueryStats Stats() const { return active_->Stats(); }
   const CompiledQuery& active() const { return *active_; }
 
+  /// Messages currently retained for replay: only the suffix since the
+  /// last common sync point (the input before it is folded into the
+  /// barrier snapshot), so retention is bounded by the provider's sync
+  /// cadence instead of growing with the stream.
+  size_t retained_input_size() const { return input_.size(); }
+
  private:
   SwitchableQuery() = default;
 
@@ -68,12 +75,25 @@ class SwitchableQuery {
     void Append(const std::vector<Message>& more);
   };
 
+  /// Folds the input prefix into a barrier snapshot when every input
+  /// type has advanced its sync point past the last barrier.
+  void MaybeAdvanceBarrier();
+
   std::string text_;
   Catalog catalog_;
   ConsistencySpec spec_ = ConsistencySpec::Middle();
   std::unique_ptr<CompiledQuery> active_;
-  /// Retained input for replay, in arrival order.
+  /// Retained input for replay, in arrival order: only the suffix since
+  /// the last barrier snapshot.
   std::vector<std::pair<std::string, Message>> input_;
+  /// Serialized CompiledQuery::Snapshot of the active plan at the last
+  /// common sync point; empty until the first barrier. SwitchTo restores
+  /// it into the fresh plan and replays only `input_`.
+  std::string barrier_state_;
+  /// Last sync point seen per input type, and the frontier (minimum over
+  /// all input types) at which the current barrier was taken.
+  std::map<std::string, Time> input_ctis_;
+  Time barrier_cti_ = kMinTime;
   /// Output of all retired plans, identity-deduplicated.
   SpliceState spliced_;
   Time last_cs_ = 0;

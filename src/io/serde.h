@@ -1,0 +1,126 @@
+// Binary serialization for durable state (snapshots and journals).
+//
+// The format is a deterministic little-endian byte stream: fixed-width
+// integers, length-prefixed strings, and explicit tags for variants.
+// Writers never fail; readers return typed Status errors so corruption
+// and truncation surface as kCorruption / kDataLoss instead of UB.
+#ifndef CEDR_IO_SERDE_H_
+#define CEDR_IO_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "consistency/spec.h"
+#include "stream/message.h"
+
+namespace cedr {
+namespace io {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size`
+/// bytes. Used to checksum snapshot payloads and journal records.
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(const std::string& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Appends fixed-width little-endian primitives to an in-memory buffer.
+/// All multi-byte values are written LSB-first regardless of host order,
+/// so snapshots are portable across machines.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutTime(Time t) { PutI64(t); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutDouble(double v);
+  /// u64 length prefix + raw bytes.
+  void PutString(const std::string& s);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Reads the BinaryWriter format back. Running past the end of the
+/// buffer yields kDataLoss (the bytes were truncated); structurally
+/// invalid content (bad tags, absurd lengths) yields kCorruption.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<Time> GetTime() { return GetI64(); }
+  Result<bool> GetBool();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  /// kCorruption unless every byte has been consumed (trailing garbage
+  /// means the payload does not match the format version).
+  Status ExpectEnd() const;
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
+};
+
+// Domain-type serde. Each WriteX has a matching ReadX that returns
+// exactly the value written (modulo shared_ptr identity: schemas are
+// reconstructed structurally).
+
+/// Marker byte written by operators whose operational module holds no
+/// state, so restore still detects framing drift.
+inline constexpr uint8_t kStatelessMarker = 0xA5;
+void WriteStatelessMarker(BinaryWriter* w);
+Status ReadStatelessMarker(BinaryReader* r);
+
+void WriteValue(BinaryWriter* w, const Value& v);
+Result<Value> ReadValue(BinaryReader* r);
+
+void WriteSchema(BinaryWriter* w, const SchemaPtr& schema);
+Result<SchemaPtr> ReadSchema(BinaryReader* r);  // may return nullptr
+
+void WriteRow(BinaryWriter* w, const Row& row);
+Result<Row> ReadRow(BinaryReader* r);
+
+void WriteEvent(BinaryWriter* w, const Event& e);
+Result<Event> ReadEvent(BinaryReader* r);
+
+void WriteMessage(BinaryWriter* w, const Message& m);
+Result<Message> ReadMessage(BinaryReader* r);
+
+void WriteValues(BinaryWriter* w, const std::vector<Value>& values);
+Result<std::vector<Value>> ReadValues(BinaryReader* r);
+
+void WriteEvents(BinaryWriter* w, const std::vector<Event>& events);
+Result<std::vector<Event>> ReadEvents(BinaryReader* r);
+
+void WriteSpec(BinaryWriter* w, const ConsistencySpec& spec);
+Result<ConsistencySpec> ReadSpec(BinaryReader* r);
+
+void WriteStatus(BinaryWriter* w, const Status& s);
+/// Reads a serialized Status into *out (Result<Status> would be
+/// ambiguous between the value and error constructors).
+Status ReadStatus(BinaryReader* r, Status* out);
+
+}  // namespace io
+}  // namespace cedr
+
+#endif  // CEDR_IO_SERDE_H_

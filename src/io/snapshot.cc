@@ -1,0 +1,54 @@
+#include "io/snapshot.h"
+
+#include <cstring>
+
+namespace cedr {
+namespace io {
+
+namespace {
+constexpr size_t kMagicSize = 8;
+// magic + version + payload length.
+constexpr size_t kHeaderSize = kMagicSize + 4 + 8;
+}  // namespace
+
+std::string SealSnapshot(const std::string& payload) {
+  BinaryWriter w;
+  std::string out(kSnapshotMagic, kMagicSize);
+  w.PutU32(kSnapshotVersion);
+  w.PutU64(payload.size());
+  out += w.Take();
+  out += payload;
+  BinaryWriter crc;
+  crc.PutU32(Crc32(payload));
+  out += crc.Take();
+  return out;
+}
+
+Result<std::string> OpenSnapshot(const std::string& bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::DataLoss("snapshot: truncated header");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, kMagicSize) != 0) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  BinaryReader header(bytes.data() + kMagicSize, kHeaderSize - kMagicSize);
+  CEDR_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
+  if (version != kSnapshotVersion) {
+    return Status::Corruption("snapshot: unsupported format version " +
+                              std::to_string(version));
+  }
+  CEDR_ASSIGN_OR_RETURN(uint64_t payload_size, header.GetU64());
+  if (bytes.size() < kHeaderSize + payload_size + 4) {
+    return Status::DataLoss("snapshot: truncated payload");
+  }
+  std::string payload = bytes.substr(kHeaderSize, payload_size);
+  BinaryReader footer(bytes.data() + kHeaderSize + payload_size, 4);
+  CEDR_ASSIGN_OR_RETURN(uint32_t stored_crc, footer.GetU32());
+  if (stored_crc != Crc32(payload)) {
+    return Status::Corruption("snapshot: checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace io
+}  // namespace cedr

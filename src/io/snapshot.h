@@ -1,0 +1,36 @@
+// Snapshot envelope: versioned, checksummed framing for durable state.
+//
+// Layout:  magic "CEDRSNP1" (8 bytes)
+//          u32 format version
+//          u64 payload length
+//          payload bytes
+//          u32 CRC-32 of the payload
+//
+// OpenSnapshot distinguishes the two failure modes the recovery path
+// cares about: bytes missing (truncation -> kDataLoss) versus bytes
+// present but wrong (bad magic/version/checksum -> kCorruption).
+#ifndef CEDR_IO_SNAPSHOT_H_
+#define CEDR_IO_SNAPSHOT_H_
+
+#include <string>
+
+#include "io/serde.h"
+
+namespace cedr {
+namespace io {
+
+inline constexpr char kSnapshotMagic[] = "CEDRSNP1";  // 8 chars + NUL
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Wraps a serialized payload in the versioned, checksummed envelope.
+std::string SealSnapshot(const std::string& payload);
+
+/// Validates the envelope and returns the payload. Truncated input is
+/// kDataLoss; bad magic, unsupported version, or checksum mismatch is
+/// kCorruption.
+Result<std::string> OpenSnapshot(const std::string& bytes);
+
+}  // namespace io
+}  // namespace cedr
+
+#endif  // CEDR_IO_SNAPSHOT_H_

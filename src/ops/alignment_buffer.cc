@@ -100,4 +100,50 @@ void AlignmentBuffer::Drain(Time now_cs, std::vector<Message>* released) {
   }
 }
 
+void AlignmentBuffer::Snapshot(io::BinaryWriter* w) const {
+  w->PutTime(guarantee_);
+  w->PutTime(watermark_);
+  w->PutU64(next_seq_);
+  w->PutU64(buffered_.size());
+  for (const auto& [key, held] : buffered_) {
+    io::WriteMessage(w, held.msg);
+    w->PutTime(held.arrival_cs);
+    w->PutU64(held.seq);
+  }
+  w->PutU64(stats_.merged_retractions);
+  w->PutU64(stats_.annihilated_inserts);
+  w->PutU64(stats_.max_size);
+  w->PutTime(stats_.total_blocking_cs);
+  w->PutTime(stats_.max_blocking_cs);
+  w->PutU64(stats_.released);
+}
+
+Status AlignmentBuffer::Restore(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(guarantee_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(watermark_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(next_seq_, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  buffered_.clear();
+  insert_index_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    Held held;
+    CEDR_ASSIGN_OR_RETURN(held.msg, io::ReadMessage(r));
+    CEDR_ASSIGN_OR_RETURN(held.arrival_cs, r->GetTime());
+    CEDR_ASSIGN_OR_RETURN(held.seq, r->GetU64());
+    auto key = std::make_pair(held.msg.SyncTime(), held.seq);
+    if (held.msg.kind == MessageKind::kInsert) {
+      insert_index_[held.msg.event.id] = key;
+    }
+    buffered_.emplace(key, std::move(held));
+  }
+  CEDR_ASSIGN_OR_RETURN(stats_.merged_retractions, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(stats_.annihilated_inserts, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(uint64_t max_size, r->GetU64());
+  stats_.max_size = static_cast<size_t>(max_size);
+  CEDR_ASSIGN_OR_RETURN(stats_.total_blocking_cs, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(stats_.max_blocking_cs, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(stats_.released, r->GetU64());
+  return Status::OK();
+}
+
 }  // namespace cedr

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "consistency/spec.h"
+#include "io/serde.h"
 #include "stream/message.h"
 
 namespace cedr {
@@ -53,6 +54,14 @@ class AlignmentBuffer {
   Time Frontier() const;
 
   const AlignmentStats& stats() const { return stats_; }
+
+  /// Serializes guarantee/watermark frontiers, the buffered messages,
+  /// and statistics. max_blocking_ comes from construction and is not
+  /// part of the snapshot.
+  void Snapshot(io::BinaryWriter* w) const;
+  /// Restores into an empty buffer constructed with the same spec; the
+  /// insert index is rebuilt from the buffered messages.
+  Status Restore(io::BinaryReader* r);
 
  private:
   struct Held {

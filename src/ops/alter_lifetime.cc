@@ -127,6 +127,31 @@ std::unique_ptr<AlterLifetimeOp> MakeHoppingWindowOp(Duration wl,
       [snap](Time g) { return snap(g); });
 }
 
+void AlterLifetimeOp::SnapshotState(io::BinaryWriter* w) const {
+  w->PutU64(reissue_counter_);
+  // Sorted by input id: emitted_ is lookup-only, so only the contents
+  // matter, but sorting keeps snapshot bytes deterministic.
+  std::map<EventId, const Event*> sorted;
+  for (const auto& [id, e] : emitted_) sorted.emplace(id, &e);
+  w->PutU64(sorted.size());
+  for (const auto& [id, e] : sorted) {
+    w->PutU64(id);
+    io::WriteEvent(w, *e);
+  }
+}
+
+Status AlterLifetimeOp::RestoreState(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(reissue_counter_, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  emitted_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+    CEDR_ASSIGN_OR_RETURN(Event e, io::ReadEvent(r));
+    emitted_.emplace(id, std::move(e));
+  }
+  return Status::OK();
+}
+
 std::unique_ptr<AlterLifetimeOp> MakeInsertsOp(ConsistencySpec spec) {
   return std::make_unique<AlterLifetimeOp>(
       [](const Event& e) { return e.vs; },

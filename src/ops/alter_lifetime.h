@@ -38,6 +38,8 @@ class AlterLifetimeOp : public Operator {
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
   void TrimState(Time horizon) override;
   Time OutputGuarantee(Time input_guarantee) const override;
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   /// The remapped event, or nullopt when the lifetime is empty.

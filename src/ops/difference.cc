@@ -111,4 +111,57 @@ void DifferenceOp::TrimState(Time horizon) {
   }
 }
 
+namespace {
+
+void WriteIntervalMap(io::BinaryWriter* w,
+                      const std::map<EventId, Interval>& side) {
+  w->PutU64(side.size());
+  for (const auto& [id, interval] : side) {
+    w->PutU64(id);
+    w->PutTime(interval.start);
+    w->PutTime(interval.end);
+  }
+}
+
+Status ReadIntervalMap(io::BinaryReader* r,
+                       std::map<EventId, Interval>* side) {
+  side->clear();
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  for (uint64_t i = 0; i < n; ++i) {
+    CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+    Interval interval;
+    CEDR_ASSIGN_OR_RETURN(interval.start, r->GetTime());
+    CEDR_ASSIGN_OR_RETURN(interval.end, r->GetTime());
+    side->emplace(id, interval);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void DifferenceOp::SnapshotState(io::BinaryWriter* w) const {
+  w->PutTime(frontier_);
+  w->PutU64(state_.size());
+  for (const auto& [payload, ps] : state_) {
+    io::WriteRow(w, payload);
+    WriteIntervalMap(w, ps.left);
+    WriteIntervalMap(w, ps.right);
+  }
+  output_.Snapshot(w);
+}
+
+Status DifferenceOp::RestoreState(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(frontier_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  state_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    CEDR_ASSIGN_OR_RETURN(Row payload, io::ReadRow(r));
+    PayloadState ps;
+    CEDR_RETURN_NOT_OK(ReadIntervalMap(r, &ps.left));
+    CEDR_RETURN_NOT_OK(ReadIntervalMap(r, &ps.right));
+    state_.emplace(std::move(payload), std::move(ps));
+  }
+  return output_.Restore(r);
+}
+
 }  // namespace cedr

@@ -26,6 +26,8 @@ class DifferenceOp : public Operator {
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
   Status ProcessCti(Time t, int port) override;
   void TrimState(Time horizon) override;
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   Status Recompute(const Row& payload);

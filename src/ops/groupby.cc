@@ -169,4 +169,41 @@ void GroupByAggregateOp::TrimState(Time horizon) {
   }
 }
 
+void GroupByAggregateOp::SnapshotState(io::BinaryWriter* w) const {
+  w->PutTime(frontier_);
+  w->PutU64(groups_.size());
+  for (const auto& [key, members] : groups_) {
+    io::WriteValues(w, key);
+    w->PutU64(members.size());
+    for (const auto& [id, contributor] : members) {
+      w->PutU64(id);
+      w->PutTime(contributor.lifetime.start);
+      w->PutTime(contributor.lifetime.end);
+      io::WriteValues(w, contributor.agg_inputs);
+    }
+  }
+  output_.Snapshot(w);
+}
+
+Status GroupByAggregateOp::RestoreState(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(frontier_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_groups, r->GetU64());
+  groups_.clear();
+  for (uint64_t i = 0; i < num_groups; ++i) {
+    CEDR_ASSIGN_OR_RETURN(std::vector<Value> key, io::ReadValues(r));
+    CEDR_ASSIGN_OR_RETURN(uint64_t num_members, r->GetU64());
+    std::map<EventId, Contributor> members;
+    for (uint64_t j = 0; j < num_members; ++j) {
+      CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+      Contributor contributor;
+      CEDR_ASSIGN_OR_RETURN(contributor.lifetime.start, r->GetTime());
+      CEDR_ASSIGN_OR_RETURN(contributor.lifetime.end, r->GetTime());
+      CEDR_ASSIGN_OR_RETURN(contributor.agg_inputs, io::ReadValues(r));
+      members.emplace(id, std::move(contributor));
+    }
+    groups_.emplace(std::move(key), std::move(members));
+  }
+  return output_.Restore(r);
+}
+
 }  // namespace cedr

@@ -36,6 +36,8 @@ class GroupByAggregateOp : public Operator {
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
   Status ProcessCti(Time t, int port) override;
   void TrimState(Time horizon) override;
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   struct Contributor {

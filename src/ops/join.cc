@@ -110,6 +110,47 @@ Status JoinOp::ProcessRetract(const Event& e, Time new_ve, int port) {
   return Status::OK();
 }
 
+void JoinOp::SnapshotState(io::BinaryWriter* w) const {
+  for (const Side& side : sides_) {
+    w->PutU64(side.events.size());
+    for (const auto& [id, e] : side.events) io::WriteEvent(w, e);
+    // Buckets are serialized verbatim (not rebuilt) so the per-bucket
+    // probe order survives recovery.
+    w->PutU64(side.buckets.size());
+    for (const auto& [key, ids] : side.buckets) {
+      io::WriteValue(w, key);
+      w->PutU64(ids.size());
+      for (EventId id : ids) w->PutU64(id);
+    }
+  }
+}
+
+Status JoinOp::RestoreState(io::BinaryReader* r) {
+  for (Side& side : sides_) {
+    side.events.clear();
+    side.buckets.clear();
+    CEDR_ASSIGN_OR_RETURN(uint64_t num_events, r->GetU64());
+    for (uint64_t i = 0; i < num_events; ++i) {
+      CEDR_ASSIGN_OR_RETURN(Event e, io::ReadEvent(r));
+      EventId id = e.id;
+      side.events.emplace(id, std::move(e));
+    }
+    CEDR_ASSIGN_OR_RETURN(uint64_t num_buckets, r->GetU64());
+    for (uint64_t i = 0; i < num_buckets; ++i) {
+      CEDR_ASSIGN_OR_RETURN(Value key, io::ReadValue(r));
+      CEDR_ASSIGN_OR_RETURN(uint64_t num_ids, r->GetU64());
+      std::vector<EventId> ids;
+      ids.reserve(num_ids);
+      for (uint64_t j = 0; j < num_ids; ++j) {
+        CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+        ids.push_back(id);
+      }
+      side.buckets.emplace(std::move(key), std::move(ids));
+    }
+  }
+  return Status::OK();
+}
+
 void JoinOp::TrimState(Time horizon) {
   for (Side& side : sides_) {
     for (auto it = side.events.begin(); it != side.events.end();) {

@@ -10,6 +10,7 @@
 #define CEDR_OPS_JOIN_H_
 
 #include <functional>
+#include <map>
 #include <unordered_map>
 
 #include "ops/operator.h"
@@ -35,6 +36,8 @@ class JoinOp : public Operator {
   Status ProcessInsert(const Event& e, int port) override;
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
   void TrimState(Time horizon) override;
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   /// The join output of stored events l (left) and r (right), with the
@@ -44,7 +47,9 @@ class JoinOp : public Operator {
 
   struct Side {
     // id -> live event (current, possibly already shrunk, lifetime).
-    std::unordered_map<EventId, Event> events;
+    // Ordered so non-equi probes emit in a deterministic order - the
+    // property that lets a restored snapshot re-emit identical output.
+    std::map<EventId, Event> events;
     // hash bucket -> ids, when equi keys are enabled.
     std::unordered_map<Value, std::vector<EventId>> buckets;
     KeyExtractor key;

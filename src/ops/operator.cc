@@ -123,6 +123,51 @@ void Operator::EmitCti(Time t) {
   }
 }
 
+void Operator::SnapshotState(io::BinaryWriter* /*w*/) const {}
+
+Status Operator::RestoreState(io::BinaryReader* /*r*/) {
+  return Status::OK();
+}
+
+void Operator::Snapshot(io::BinaryWriter* w) const {
+  w->PutString(name_);
+  w->PutTime(now_cs_);
+  w->PutTime(last_emitted_cti_);
+  w->PutU64(stats_.in_inserts);
+  w->PutU64(stats_.in_retracts);
+  w->PutU64(stats_.in_ctis);
+  w->PutU64(stats_.out_inserts);
+  w->PutU64(stats_.out_retracts);
+  w->PutU64(stats_.out_ctis);
+  w->PutU64(stats_.lost_corrections);
+  w->PutU64(stats_.max_state_size);
+  io::WriteStatus(w, first_error_);
+  monitor_.Snapshot(w);
+  SnapshotState(w);
+}
+
+Status Operator::Restore(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(std::string name, r->GetString());
+  if (name != name_) {
+    return Status::Corruption("operator snapshot is for '" + name +
+                              "', restoring into '" + name_ + "'");
+  }
+  CEDR_ASSIGN_OR_RETURN(now_cs_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(last_emitted_cti_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(stats_.in_inserts, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(stats_.in_retracts, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(stats_.in_ctis, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(stats_.out_inserts, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(stats_.out_retracts, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(stats_.out_ctis, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(stats_.lost_corrections, r->GetU64());
+  CEDR_ASSIGN_OR_RETURN(uint64_t max_state, r->GetU64());
+  stats_.max_state_size = static_cast<size_t>(max_state);
+  CEDR_RETURN_NOT_OK(io::ReadStatus(r, &first_error_));
+  CEDR_RETURN_NOT_OK(monitor_.Restore(r));
+  return RestoreState(r);
+}
+
 OperatorStats Operator::stats() const {
   OperatorStats out = stats_;
   out.alignment = monitor_.CombinedBufferStats();

@@ -68,6 +68,17 @@ class Operator {
   /// Snapshot of the statistics (includes alignment buffer stats).
   OperatorStats stats() const;
 
+  /// Serializes the full operator state: base bookkeeping (cs clock,
+  /// last emitted CTI, counters, sticky error), the consistency monitor
+  /// (alignment buffers + guarantees), then the subclass's
+  /// SnapshotState. Wiring (ConnectTo) is not part of the snapshot; the
+  /// restoring side rebuilds the plan and reconnects.
+  void Snapshot(io::BinaryWriter* w) const;
+  /// Restores a Snapshot into a freshly constructed operator of the same
+  /// type and configuration. Typed errors: truncation is kDataLoss,
+  /// structural mismatch is kCorruption.
+  Status Restore(io::BinaryReader* r);
+
  protected:
   /// Operational-module hooks, called with messages in the order the
   /// consistency monitor releases them.
@@ -83,6 +94,13 @@ class Operator {
   virtual Time OutputGuarantee(Time input_guarantee) const {
     return input_guarantee;
   }
+
+  /// Subclass state hooks for checkpointing: serialize/restore the
+  /// operational module's state (events held, repair-id counters).
+  /// Defaults are empty (for stateless operators and test doubles);
+  /// stateful operators must override both.
+  virtual void SnapshotState(io::BinaryWriter* w) const;
+  virtual Status RestoreState(io::BinaryReader* r);
 
   void EmitInsert(Event e);
   /// No-op when new_ve >= the event's current ve; clamps at vs.

@@ -23,4 +23,12 @@ Status ProjectOp::ProcessRetract(const Event& e, Time new_ve, int /*port*/) {
   return Status::OK();
 }
 
+void ProjectOp::SnapshotState(io::BinaryWriter* w) const {
+  io::WriteStatelessMarker(w);
+}
+
+Status ProjectOp::RestoreState(io::BinaryReader* r) {
+  return io::ReadStatelessMarker(r);
+}
+
 }  // namespace cedr

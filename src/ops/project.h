@@ -20,6 +20,10 @@ class ProjectOp : public Operator {
  protected:
   Status ProcessInsert(const Event& e, int port) override;
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+  /// Stateless: the transform comes from construction; only a format
+  /// marker is written.
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   Event Apply(const Event& e) const;

@@ -18,4 +18,12 @@ Status SelectOp::ProcessRetract(const Event& e, Time new_ve, int /*port*/) {
   return Status::OK();
 }
 
+void SelectOp::SnapshotState(io::BinaryWriter* w) const {
+  io::WriteStatelessMarker(w);
+}
+
+Status SelectOp::RestoreState(io::BinaryReader* r) {
+  return io::ReadStatelessMarker(r);
+}
+
 }  // namespace cedr

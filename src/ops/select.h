@@ -19,6 +19,10 @@ class SelectOp : public Operator {
  protected:
   Status ProcessInsert(const Event& e, int port) override;
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+  /// Stateless: the predicate comes from construction; only a format
+  /// marker is written.
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   RowPredicate predicate_;

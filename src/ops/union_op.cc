@@ -15,4 +15,12 @@ Status UnionOp::ProcessRetract(const Event& e, Time new_ve, int /*port*/) {
   return Status::OK();
 }
 
+void UnionOp::SnapshotState(io::BinaryWriter* w) const {
+  io::WriteStatelessMarker(w);
+}
+
+Status UnionOp::RestoreState(io::BinaryReader* r) {
+  return io::ReadStatelessMarker(r);
+}
+
 }  // namespace cedr

@@ -16,6 +16,9 @@ class UnionOp : public Operator {
  protected:
   Status ProcessInsert(const Event& e, int port) override;
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
+  /// Stateless pass-through; only a format marker is written.
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 };
 
 }  // namespace cedr

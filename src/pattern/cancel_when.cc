@@ -61,4 +61,12 @@ void CancelWhenOp::TrimState(Time horizon) {
   core_->Trim(horizon, input_guarantee());
 }
 
+void CancelWhenOp::SnapshotState(io::BinaryWriter* w) const {
+  core_->Snapshot(w);
+}
+
+Status CancelWhenOp::RestoreState(io::BinaryReader* r) {
+  return core_->Restore(r);
+}
+
 }  // namespace cedr

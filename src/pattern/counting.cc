@@ -213,4 +213,51 @@ void AtMostOp::TrimState(Time horizon) {
   }
 }
 
+void AtMostOp::SnapshotState(io::BinaryWriter* w) const {
+  w->PutU64(pool_.size());
+  for (const auto& [key, id] : pool_) {
+    w->PutTime(key.first);
+    w->PutU64(key.second);
+    w->PutU64(id);
+  }
+  // Tracked entries sorted by source id for deterministic bytes (all
+  // access goes through pool_, which is ordered).
+  std::map<EventId, const Tracked*> sorted;
+  for (const auto& [id, t] : tracked_) sorted.emplace(id, &t);
+  w->PutU64(sorted.size());
+  for (const auto& [id, t] : sorted) {
+    w->PutU64(id);
+    io::WriteEvent(w, t->source);
+    io::WriteEvent(w, t->composite);
+    w->PutBool(t->emitted);
+    w->PutBool(t->eligible);
+    w->PutU64(t->generation);
+  }
+}
+
+Status AtMostOp::RestoreState(io::BinaryReader* r) {
+  pool_.clear();
+  tracked_.clear();
+  CEDR_ASSIGN_OR_RETURN(uint64_t pool_size, r->GetU64());
+  for (uint64_t i = 0; i < pool_size; ++i) {
+    std::pair<Time, EventId> key;
+    CEDR_ASSIGN_OR_RETURN(key.first, r->GetTime());
+    CEDR_ASSIGN_OR_RETURN(key.second, r->GetU64());
+    CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+    pool_.emplace(key, id);
+  }
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_tracked, r->GetU64());
+  for (uint64_t i = 0; i < num_tracked; ++i) {
+    CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+    Tracked t;
+    CEDR_ASSIGN_OR_RETURN(t.source, io::ReadEvent(r));
+    CEDR_ASSIGN_OR_RETURN(t.composite, io::ReadEvent(r));
+    CEDR_ASSIGN_OR_RETURN(t.emitted, r->GetBool());
+    CEDR_ASSIGN_OR_RETURN(t.eligible, r->GetBool());
+    CEDR_ASSIGN_OR_RETURN(t.generation, r->GetU64());
+    tracked_.emplace(id, std::move(t));
+  }
+  return Status::OK();
+}
+
 }  // namespace cedr

@@ -56,6 +56,8 @@ class AtMostOp : public Operator {
   Status ProcessInsert(const Event& e, int port) override;
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
   void TrimState(Time horizon) override;
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   struct Tracked {

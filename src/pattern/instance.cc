@@ -1,6 +1,7 @@
 #include "pattern/instance.h"
 
 #include <algorithm>
+#include <map>
 
 namespace cedr {
 
@@ -74,6 +75,48 @@ void CompositeIndex::Trim(Time horizon) {
       ++it;
     }
   }
+}
+
+void CompositeIndex::Snapshot(io::BinaryWriter* w) const {
+  // Sorted by id for deterministic snapshot bytes; lookups are by key so
+  // map order does not affect behavior.
+  std::map<EventId, const Event*> sorted;
+  for (const auto& [id, e] : composites_) sorted.emplace(id, &e);
+  w->PutU64(sorted.size());
+  for (const auto& [id, e] : sorted) io::WriteEvent(w, *e);
+
+  std::map<EventId, const std::vector<EventId>*> index;
+  for (const auto& [id, ids] : by_contributor_) index.emplace(id, &ids);
+  w->PutU64(index.size());
+  for (const auto& [contributor, ids] : index) {
+    w->PutU64(contributor);
+    w->PutU64(ids->size());
+    for (EventId id : *ids) w->PutU64(id);
+  }
+}
+
+Status CompositeIndex::Restore(io::BinaryReader* r) {
+  composites_.clear();
+  by_contributor_.clear();
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_composites, r->GetU64());
+  for (uint64_t i = 0; i < num_composites; ++i) {
+    CEDR_ASSIGN_OR_RETURN(Event e, io::ReadEvent(r));
+    EventId id = e.id;
+    composites_.emplace(id, std::move(e));
+  }
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_contributors, r->GetU64());
+  for (uint64_t i = 0; i < num_contributors; ++i) {
+    CEDR_ASSIGN_OR_RETURN(EventId contributor, r->GetU64());
+    CEDR_ASSIGN_OR_RETURN(uint64_t num_ids, r->GetU64());
+    std::vector<EventId> ids;
+    ids.reserve(num_ids);
+    for (uint64_t j = 0; j < num_ids; ++j) {
+      CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+      ids.push_back(id);
+    }
+    by_contributor_.emplace(contributor, std::move(ids));
+  }
+  return Status::OK();
 }
 
 }  // namespace cedr

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/serde.h"
 #include "stream/event.h"
 
 namespace cedr {
@@ -32,6 +33,11 @@ class CompositeIndex {
   void Trim(Time horizon);
 
   size_t size() const { return composites_.size(); }
+
+  /// Serializes the live composites and the contributor index (the
+  /// index's vector order matters: it is the retraction emission order).
+  void Snapshot(io::BinaryWriter* w) const;
+  Status Restore(io::BinaryReader* r);
 
  private:
   std::unordered_map<EventId, Event> composites_;

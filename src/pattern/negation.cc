@@ -237,6 +237,97 @@ size_t NegationCore::StateSize() const {
   return candidates_.size() + blockers_.size();
 }
 
+namespace {
+
+void WriteIndex(io::BinaryWriter* w,
+                const std::multimap<Time, EventId>& index) {
+  w->PutU64(index.size());
+  for (const auto& [t, id] : index) {
+    w->PutTime(t);
+    w->PutU64(id);
+  }
+}
+
+Status ReadIndex(io::BinaryReader* r, std::multimap<Time, EventId>* index) {
+  index->clear();
+  CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  for (uint64_t i = 0; i < n; ++i) {
+    CEDR_ASSIGN_OR_RETURN(Time t, r->GetTime());
+    CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+    // emplace_hint at end preserves the serialized equal-key order.
+    index->emplace_hint(index->end(), t, id);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void NegationCore::Snapshot(io::BinaryWriter* w) const {
+  // Candidates sorted by key for deterministic snapshot bytes (lookups
+  // go through the indexes, which are serialized verbatim below).
+  std::map<EventId, const Candidate*> sorted;
+  for (const auto& [key, c] : candidates_) sorted.emplace(key, &c);
+  w->PutU64(sorted.size());
+  for (const auto& [key, c] : sorted) {
+    w->PutU64(c->key);
+    io::WriteEvent(w, c->output);
+    io::WriteEvents(w, c->tuple);
+    w->PutTime(c->block_lo);
+    w->PutTime(c->block_hi);
+    w->PutTime(c->certain_at);
+    w->PutTime(c->resolve_at);
+    w->PutU8(static_cast<uint8_t>(c->state));
+    w->PutU64(c->generation);
+  }
+  WriteIndex(w, by_block_lo_);
+  WriteIndex(w, by_resolve_at_);
+  WriteIndex(w, by_certain_at_);
+  w->PutU64(blockers_.size());
+  for (const auto& [key, e] : blockers_) io::WriteEvent(w, e);
+  w->PutI64(max_window_);
+  w->PutTime(last_watermark_);
+  w->PutTime(last_guarantee_);
+  w->PutTime(trim_frontier_);
+}
+
+Status NegationCore::Restore(io::BinaryReader* r) {
+  candidates_.clear();
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_candidates, r->GetU64());
+  for (uint64_t i = 0; i < num_candidates; ++i) {
+    Candidate c;
+    CEDR_ASSIGN_OR_RETURN(c.key, r->GetU64());
+    CEDR_ASSIGN_OR_RETURN(c.output, io::ReadEvent(r));
+    CEDR_ASSIGN_OR_RETURN(c.tuple, io::ReadEvents(r));
+    CEDR_ASSIGN_OR_RETURN(c.block_lo, r->GetTime());
+    CEDR_ASSIGN_OR_RETURN(c.block_hi, r->GetTime());
+    CEDR_ASSIGN_OR_RETURN(c.certain_at, r->GetTime());
+    CEDR_ASSIGN_OR_RETURN(c.resolve_at, r->GetTime());
+    CEDR_ASSIGN_OR_RETURN(uint8_t state, r->GetU8());
+    if (state > static_cast<uint8_t>(State::kRetracted)) {
+      return Status::Corruption("negation snapshot: invalid candidate state");
+    }
+    c.state = static_cast<State>(state);
+    CEDR_ASSIGN_OR_RETURN(c.generation, r->GetU64());
+    EventId key = c.key;
+    candidates_.emplace(key, std::move(c));
+  }
+  CEDR_RETURN_NOT_OK(ReadIndex(r, &by_block_lo_));
+  CEDR_RETURN_NOT_OK(ReadIndex(r, &by_resolve_at_));
+  CEDR_RETURN_NOT_OK(ReadIndex(r, &by_certain_at_));
+  blockers_.clear();
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_blockers, r->GetU64());
+  for (uint64_t i = 0; i < num_blockers; ++i) {
+    CEDR_ASSIGN_OR_RETURN(Event e, io::ReadEvent(r));
+    auto key = std::make_pair(e.vs, e.id);
+    blockers_.emplace(key, std::move(e));
+  }
+  CEDR_ASSIGN_OR_RETURN(max_window_, r->GetI64());
+  CEDR_ASSIGN_OR_RETURN(last_watermark_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(last_guarantee_, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(trim_frontier_, r->GetTime());
+  return Status::OK();
+}
+
 UnlessOp::UnlessOp(Duration scope, NegationPredicate predicate,
                    ConsistencySpec spec, std::string name)
     : Operator(std::move(name), spec, /*num_inputs=*/2), scope_(scope) {
@@ -442,6 +533,30 @@ Status NotSequenceOp::ProcessCti(Time t, int port) {
 void NotSequenceOp::TrimState(Time horizon) {
   core_->Advance(max_watermark(), input_guarantee());
   core_->Trim(horizon, input_guarantee());
+}
+
+void UnlessOp::SnapshotState(io::BinaryWriter* w) const {
+  core_->Snapshot(w);
+}
+
+Status UnlessOp::RestoreState(io::BinaryReader* r) {
+  return core_->Restore(r);
+}
+
+void UnlessPrimeOp::SnapshotState(io::BinaryWriter* w) const {
+  core_->Snapshot(w);
+}
+
+Status UnlessPrimeOp::RestoreState(io::BinaryReader* r) {
+  return core_->Restore(r);
+}
+
+void NotSequenceOp::SnapshotState(io::BinaryWriter* w) const {
+  core_->Snapshot(w);
+}
+
+Status NotSequenceOp::RestoreState(io::BinaryReader* r) {
+  return core_->Restore(r);
 }
 
 }  // namespace cedr

@@ -68,6 +68,13 @@ class NegationCore {
 
   size_t StateSize() const;
 
+  /// Serializes candidates, resolution indexes, blockers, and frontier
+  /// bookkeeping. The indexes are written verbatim (not rebuilt) so the
+  /// equal-key insertion order - the resolution order - survives
+  /// recovery.
+  void Snapshot(io::BinaryWriter* w) const;
+  Status Restore(io::BinaryReader* r);
+
  private:
   enum class State { kPending, kEmitted, kSuppressed, kRetracted };
 
@@ -125,6 +132,8 @@ class UnlessOp : public Operator {
   Time OutputGuarantee(Time input_guarantee) const override {
     return TimeSub(input_guarantee, scope_);
   }
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   Duration scope_;
@@ -149,6 +158,8 @@ class UnlessPrimeOp : public Operator {
   Time OutputGuarantee(Time input_guarantee) const override {
     return TimeSub(input_guarantee, scope_);
   }
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   size_t n_;
@@ -174,6 +185,8 @@ class NotSequenceOp : public Operator {
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
   Status ProcessCti(Time t, int port) override;
   void TrimState(Time horizon) override;
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
  private:
   std::unique_ptr<NegationCore> core_;

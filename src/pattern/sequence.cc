@@ -99,6 +99,47 @@ void PatternOpBase::EmitComposite(const std::vector<const Event*>& tuple,
   EmitInsert(std::move(composite));
 }
 
+void PatternOpBase::SnapshotState(io::BinaryWriter* w) const {
+  w->PutU64(stores_.size());
+  for (const Store& s : stores_) {
+    w->PutU64(s.size());
+    for (const auto& [key, e] : s) io::WriteEvent(w, e);
+  }
+  w->PutU64(pending_consumption_.size());
+  for (const auto& [port, id] : pending_consumption_) {
+    w->PutU64(static_cast<uint64_t>(port));
+    w->PutU64(id);
+  }
+  emitted_.Snapshot(w);
+}
+
+Status PatternOpBase::RestoreState(io::BinaryReader* r) {
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_stores, r->GetU64());
+  if (num_stores != stores_.size()) {
+    return Status::Corruption("pattern snapshot: store count mismatch");
+  }
+  for (Store& s : stores_) {
+    s.clear();
+    CEDR_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+    for (uint64_t i = 0; i < n; ++i) {
+      CEDR_ASSIGN_OR_RETURN(Event e, io::ReadEvent(r));
+      auto key = std::make_pair(e.vs, e.id);
+      s.emplace(key, std::move(e));
+    }
+  }
+  CEDR_ASSIGN_OR_RETURN(uint64_t num_pending, r->GetU64());
+  pending_consumption_.clear();
+  for (uint64_t i = 0; i < num_pending; ++i) {
+    CEDR_ASSIGN_OR_RETURN(uint64_t port, r->GetU64());
+    if (port >= stores_.size()) {
+      return Status::Corruption("pattern snapshot: pending port out of range");
+    }
+    CEDR_ASSIGN_OR_RETURN(EventId id, r->GetU64());
+    pending_consumption_.emplace_back(static_cast<int>(port), id);
+  }
+  return emitted_.Restore(r);
+}
+
 SequenceOp::SequenceOp(int num_inputs, Duration scope,
                        PatternTuplePredicate predicate, ScModes sc_modes,
                        SchemaPtr output_schema, ConsistencySpec spec,

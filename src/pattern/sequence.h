@@ -37,6 +37,11 @@ class PatternOpBase : public Operator {
   Status ProcessInsert(const Event& e, int port) override;
   Status ProcessRetract(const Event& e, Time new_ve, int port) override;
   void TrimState(Time horizon) override;
+  /// Serializes the candidate stores, pending consumptions, and lineage
+  /// index. SequenceOp/AtLeastOp add no further state, so this covers
+  /// the whole positive-pattern family.
+  void SnapshotState(io::BinaryWriter* w) const override;
+  Status RestoreState(io::BinaryReader* r) override;
 
   /// Enumerate and emit the new matches created by `e` arriving on
   /// `port`. Called after `e` has been stored.

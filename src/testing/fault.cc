@@ -1,0 +1,200 @@
+#include "testing/fault.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace cedr {
+namespace testing {
+
+void FaultInjector::FlipBit(std::string* bytes) {
+  if (bytes->empty()) return;
+  uint64_t byte = rng_.NextBounded(bytes->size());
+  int bit = static_cast<int>(rng_.NextBounded(8));
+  (*bytes)[byte] = static_cast<char>((*bytes)[byte] ^ (1 << bit));
+}
+
+void FaultInjector::Truncate(std::string* bytes) {
+  if (bytes->empty()) return;
+  uint64_t keep = rng_.NextBounded(bytes->size());  // < size: drops >= 1
+  bytes->resize(keep);
+}
+
+uint64_t FaultInjector::PickIndex(uint64_t n) {
+  return n == 0 ? 0 : rng_.NextBounded(n);
+}
+
+std::vector<io::JournalRecord> FeedOf(const std::string& type,
+                                      const std::vector<Message>& stream) {
+  std::vector<io::JournalRecord> feed;
+  feed.reserve(stream.size());
+  for (const Message& m : stream) {
+    io::JournalRecord rec;
+    rec.name = type;
+    switch (m.kind) {
+      case MessageKind::kInsert:
+        rec.op = io::JournalOp::kPublish;
+        rec.event = m.event;
+        break;
+      case MessageKind::kRetract:
+        rec.op = io::JournalOp::kRetract;
+        rec.event = m.event;
+        rec.new_ve = m.new_ve;
+        break;
+      case MessageKind::kCti:
+        rec.op = io::JournalOp::kSyncPoint;
+        rec.time = m.time;
+        break;
+    }
+    // Keep the stream's arrival stamp for merge ordering; the service
+    // restamps on publish.
+    rec.event.cs = m.cs;
+    feed.push_back(std::move(rec));
+  }
+  return feed;
+}
+
+std::vector<io::JournalRecord> MergeFeeds(
+    std::vector<std::vector<io::JournalRecord>> feeds) {
+  struct Tagged {
+    io::JournalRecord rec;
+    Time at;
+    size_t source;
+    size_t pos;
+  };
+  std::vector<Tagged> all;
+  for (size_t s = 0; s < feeds.size(); ++s) {
+    for (size_t i = 0; i < feeds[s].size(); ++i) {
+      Time at = feeds[s][i].op == io::JournalOp::kSyncPoint
+                    ? feeds[s][i].time
+                    : feeds[s][i].event.cs;
+      all.push_back(Tagged{std::move(feeds[s][i]), at, s, i});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Tagged& a,
+                                              const Tagged& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.source != b.source) return a.source < b.source;
+    return a.pos < b.pos;
+  });
+  std::vector<io::JournalRecord> merged;
+  merged.reserve(all.size());
+  for (Tagged& t : all) merged.push_back(std::move(t.rec));
+  return merged;
+}
+
+Status ApplyFeedCall(DurableService* service,
+                     const io::JournalRecord& call) {
+  switch (call.op) {
+    case io::JournalOp::kRegisterType:
+      return service->RegisterEventType(call.name, call.schema);
+    case io::JournalOp::kRegisterQuery: {
+      std::optional<ConsistencySpec> spec;
+      if (call.has_spec) spec = call.spec;
+      return service->RegisterQuery(call.text, spec).status();
+    }
+    case io::JournalOp::kUnregisterQuery:
+      return service->UnregisterQuery(call.name);
+    case io::JournalOp::kPublish:
+      return service->Publish(call.name, call.event);
+    case io::JournalOp::kRetract:
+      return service->PublishRetraction(call.name, call.event, call.new_ve);
+    case io::JournalOp::kSyncPoint:
+      return service->PublishSyncPoint(call.name, call.time);
+    case io::JournalOp::kFinish:
+      return service->Finish();
+  }
+  return Status::InvalidArgument("feed call has an unknown op");
+}
+
+namespace {
+
+Status Prepare(DurableService* service, const ServiceScenario& scenario) {
+  for (const auto& [name, schema] : scenario.catalog) {
+    CEDR_RETURN_NOT_OK(service->RegisterEventType(name, schema));
+  }
+  for (const ScenarioQuery& q : scenario.queries) {
+    CEDR_RETURN_NOT_OK(service->RegisterQuery(q.text, q.spec).status());
+  }
+  return Status::OK();
+}
+
+Result<RunOutputs> Collect(const DurableService& service) {
+  RunOutputs outputs;
+  for (const std::string& name : service.service().QueryNames()) {
+    CEDR_ASSIGN_OR_RETURN(const CompiledQuery* query,
+                          service.service().GetQuery(name));
+    outputs[name] = query->sink().messages();
+  }
+  return outputs;
+}
+
+}  // namespace
+
+Result<RunOutputs> RunUninterrupted(const ServiceScenario& scenario,
+                                    DurableOptions options) {
+  DurableService service(options);
+  CEDR_RETURN_NOT_OK(Prepare(&service, scenario));
+  for (const io::JournalRecord& call : scenario.feed) {
+    CEDR_RETURN_NOT_OK(ApplyFeedCall(&service, call));
+  }
+  CEDR_RETURN_NOT_OK(service.Finish());
+  return Collect(service);
+}
+
+Result<RunOutputs> RunWithCrash(const ServiceScenario& scenario,
+                                size_t crash_after,
+                                DurableOptions options) {
+  std::string snapshot_bytes;
+  std::string journal_bytes;
+  {
+    DurableService service(options);
+    CEDR_RETURN_NOT_OK(Prepare(&service, scenario));
+    size_t applied = 0;
+    for (const io::JournalRecord& call : scenario.feed) {
+      if (applied == crash_after) break;
+      CEDR_RETURN_NOT_OK(ApplyFeedCall(&service, call));
+      ++applied;
+    }
+    // Crash: the process dies; only the durable bytes survive.
+    snapshot_bytes = service.snapshot_bytes();
+    journal_bytes = service.journal_bytes();
+  }
+  CEDR_ASSIGN_OR_RETURN(
+      std::unique_ptr<DurableService> recovered,
+      DurableService::Recover(snapshot_bytes, journal_bytes, options));
+  for (size_t i = std::min(crash_after, scenario.feed.size());
+       i < scenario.feed.size(); ++i) {
+    CEDR_RETURN_NOT_OK(ApplyFeedCall(recovered.get(), scenario.feed[i]));
+  }
+  CEDR_RETURN_NOT_OK(recovered->Finish());
+  return Collect(*recovered);
+}
+
+bool PhysicallyIdentical(const std::vector<Message>& a,
+                         const std::vector<Message>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Byte equality of the serialized forms covers every field,
+    // including lineage and payload values.
+    io::BinaryWriter wa;
+    io::BinaryWriter wb;
+    io::WriteMessage(&wa, a[i]);
+    io::WriteMessage(&wb, b[i]);
+    if (wa.bytes() != wb.bytes()) return false;
+  }
+  return true;
+}
+
+bool PhysicallyIdentical(const RunOutputs& a, const RunOutputs& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [name, stream] : a) {
+    auto it = b.find(name);
+    if (it == b.end()) return false;
+    if (!PhysicallyIdentical(stream, it->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace testing
+}  // namespace cedr

@@ -1,0 +1,93 @@
+// Deterministic fault-injection harness for the durable service.
+//
+// A scenario is a catalog, a set of standing queries, and a feed of
+// ingress calls. The harness runs it uninterrupted or with a simulated
+// crash after N accepted calls (drop the service, keep the durable
+// bytes, recover, continue), and the FaultInjector deterministically
+// damages the durable bytes (bit flips, truncation) to exercise the
+// kCorruption/kDataLoss rejection paths. Everything is seeded, so every
+// failure reproduces.
+#ifndef CEDR_TESTING_FAULT_H_
+#define CEDR_TESTING_FAULT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/durable.h"
+
+namespace cedr {
+namespace testing {
+
+/// Seeded byte-level damage for snapshots and journals.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// Flips one random bit; no-op on empty bytes.
+  void FlipBit(std::string* bytes);
+
+  /// Drops a random non-empty suffix (at least one byte); no-op on
+  /// empty bytes.
+  void Truncate(std::string* bytes);
+
+  /// Uniform in [0, n); 0 when n == 0.
+  uint64_t PickIndex(uint64_t n);
+
+ private:
+  Rng rng_;
+};
+
+/// A registered query: text plus an optional consistency override.
+struct ScenarioQuery {
+  std::string text;
+  std::optional<ConsistencySpec> spec;
+};
+
+/// A self-contained workload for the durable service. The feed reuses
+/// io::JournalRecord as the call representation (kPublish, kRetract,
+/// kSyncPoint).
+struct ServiceScenario {
+  std::map<std::string, SchemaPtr> catalog;
+  std::vector<ScenarioQuery> queries;
+  std::vector<io::JournalRecord> feed;
+};
+
+/// Builds feed calls from a message stream of one event type (the
+/// workload generators' output format). CTIs become sync points.
+std::vector<io::JournalRecord> FeedOf(const std::string& type,
+                                      const std::vector<Message>& stream);
+
+/// Merges feeds by arrival (cs) order, stable within ties.
+std::vector<io::JournalRecord> MergeFeeds(
+    std::vector<std::vector<io::JournalRecord>> feeds);
+
+/// Applies one feed call to the service.
+Status ApplyFeedCall(DurableService* service, const io::JournalRecord& call);
+
+/// Per-query physical output streams, keyed by query name.
+using RunOutputs = std::map<std::string, std::vector<Message>>;
+
+/// Runs the scenario start to finish on one DurableService.
+Result<RunOutputs> RunUninterrupted(const ServiceScenario& scenario,
+                                    DurableOptions options = {});
+
+/// Runs the scenario, crashes after `crash_after` accepted feed calls
+/// (keeping only the durable bytes), recovers, and finishes the feed on
+/// the recovered service.
+Result<RunOutputs> RunWithCrash(const ServiceScenario& scenario,
+                                size_t crash_after,
+                                DurableOptions options = {});
+
+/// True when the two streams are identical message-for-message (same
+/// kinds, events, ids, lifetimes, payloads, arrival stamps). Stronger
+/// than logical equivalence: recovery must be invisible.
+bool PhysicallyIdentical(const std::vector<Message>& a,
+                         const std::vector<Message>& b);
+bool PhysicallyIdentical(const RunOutputs& a, const RunOutputs& b);
+
+}  // namespace testing
+}  // namespace cedr
+
+#endif  // CEDR_TESTING_FAULT_H_

@@ -33,6 +33,21 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::PlanError("x").code(), StatusCode::kPlanError);
   EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+}
+
+TEST(StatusTest, DurabilityCodesDistinguishMissingFromInvalid) {
+  // kDataLoss: durable bytes are absent or truncated. kCorruption:
+  // bytes are present but fail validation. Recovery treats them
+  // differently, so they must stay distinct codes with distinct text.
+  Status lost = Status::DataLoss("journal tail torn");
+  Status bad = Status::Corruption("checksum mismatch");
+  EXPECT_FALSE(lost.ok());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(lost.code(), bad.code());
+  EXPECT_EQ(lost.ToString(), "Data loss: journal tail torn");
+  EXPECT_EQ(bad.ToString(), "Corruption: checksum mismatch");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -1,0 +1,377 @@
+// Checkpoint/restore at every layer: a mid-stream operator snapshot
+// restored into a fresh instance must continue exactly like the
+// uninterrupted run (physically identical output, not merely logically
+// equivalent), and the same must hold for a whole CedrService.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "engine/service.h"
+#include "ops/alter_lifetime.h"
+#include "ops/difference.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/select.h"
+#include "ops/union_op.h"
+#include "testing/fault.h"
+#include "testing/helpers.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+using testing::KV;
+using testing::PhysicallyIdentical;
+
+// One (port, message) feed step.
+using Feed = std::vector<std::pair<int, Message>>;
+
+struct Wired {
+  std::unique_ptr<Operator> op;
+  std::unique_ptr<CollectingSink> sink;
+};
+
+using OpFactory = std::function<std::unique_ptr<Operator>()>;
+
+Wired Wire(const OpFactory& factory) {
+  Wired w;
+  w.op = factory();
+  w.sink = std::make_unique<CollectingSink>("sink");
+  w.op->ConnectTo(w.sink.get(), 0);
+  return w;
+}
+
+Status FinishOp(Wired* w, Time end_cs) {
+  Message end = CtiOf(kInfinity, end_cs);
+  for (int p = 0; p < w->op->num_inputs(); ++p) {
+    CEDR_RETURN_NOT_OK(w->op->Push(p, end));
+  }
+  CEDR_RETURN_NOT_OK(w->op->Drain());
+  return w->sink->Drain();
+}
+
+// Runs `feed` uninterrupted, then again with a snapshot/restore at
+// every split point, asserting physically identical sink output.
+void ExpectRoundtripAtEverySplit(const OpFactory& factory,
+                                 const Feed& feed) {
+  Time end_cs = 1;
+  for (const auto& [port, msg] : feed) end_cs = std::max(end_cs, msg.cs + 1);
+
+  Wired baseline = Wire(factory);
+  for (const auto& [port, msg] : feed) {
+    ASSERT_TRUE(baseline.op->Push(port, msg).ok());
+  }
+  ASSERT_TRUE(FinishOp(&baseline, end_cs).ok());
+
+  for (size_t split = 0; split <= feed.size(); ++split) {
+    Wired a = Wire(factory);
+    for (size_t i = 0; i < split; ++i) {
+      ASSERT_TRUE(a.op->Push(feed[i].first, feed[i].second).ok());
+    }
+    io::BinaryWriter op_bytes;
+    io::BinaryWriter sink_bytes;
+    a.op->Snapshot(&op_bytes);
+    a.sink->Snapshot(&sink_bytes);
+
+    Wired b = Wire(factory);
+    io::BinaryReader op_reader(op_bytes.bytes());
+    ASSERT_TRUE(b.op->Restore(&op_reader).ok()) << "split " << split;
+    ASSERT_TRUE(op_reader.ExpectEnd().ok()) << "split " << split;
+    io::BinaryReader sink_reader(sink_bytes.bytes());
+    ASSERT_TRUE(b.sink->Restore(&sink_reader).ok());
+    ASSERT_TRUE(sink_reader.ExpectEnd().ok());
+
+    for (size_t i = split; i < feed.size(); ++i) {
+      ASSERT_TRUE(b.op->Push(feed[i].first, feed[i].second).ok());
+    }
+    ASSERT_TRUE(FinishOp(&b, end_cs).ok());
+    EXPECT_TRUE(PhysicallyIdentical(baseline.sink->messages(),
+                                    b.sink->messages()))
+        << "recovered run diverged when split at " << split;
+  }
+}
+
+Feed UnaryFeed() {
+  Feed feed;
+  Time cs = 1;
+  for (int i = 0; i < 8; ++i) {
+    feed.push_back({0, InsertOf(MakeEvent(i + 1, i + 1, i + 20,
+                                          KV(i % 3, i * 10)),
+                                cs++)});
+  }
+  feed.push_back({0, RetractOf(MakeEvent(3, 3, 22, KV(2, 20)), 10, cs++)});
+  feed.push_back({0, CtiOf(5, cs++)});
+  feed.push_back({0, InsertOf(MakeEvent(20, 8, 30, KV(1, 70)), cs++)});
+  return feed;
+}
+
+Feed BinaryFeed() {
+  Feed feed;
+  Time cs = 1;
+  for (int i = 0; i < 6; ++i) {
+    feed.push_back({0, InsertOf(MakeEvent(i + 1, i + 1, i + 15,
+                                          KV(i % 2, i)),
+                                cs++)});
+    feed.push_back({1, InsertOf(MakeEvent(i + 100, i + 2, i + 12,
+                                          KV(i % 2, i + 50)),
+                                cs++)});
+  }
+  feed.push_back({0, RetractOf(MakeEvent(2, 2, 16, KV(1, 1)), 8, cs++)});
+  feed.push_back({0, CtiOf(4, cs++)});
+  feed.push_back({1, CtiOf(4, cs++)});
+  return feed;
+}
+
+TEST(OperatorCheckpointTest, SelectRoundtrip) {
+  ExpectRoundtripAtEverySplit(
+      [] {
+        return std::make_unique<SelectOp>(
+            [](const Row& r) { return r.at(1) == Value(0) ? false : true; },
+            ConsistencySpec::Middle());
+      },
+      UnaryFeed());
+}
+
+TEST(OperatorCheckpointTest, JoinRoundtrip) {
+  ExpectRoundtripAtEverySplit(
+      [] {
+        return std::make_unique<JoinOp>(
+            [](const Row& l, const Row& r) { return l.at(0) == r.at(0); },
+            nullptr, ConsistencySpec::Middle());
+      },
+      BinaryFeed());
+}
+
+TEST(OperatorCheckpointTest, EquiJoinRoundtrip) {
+  ExpectRoundtripAtEverySplit(
+      [] {
+        auto op = std::make_unique<JoinOp>(
+            [](const Row& l, const Row& r) { return l.at(0) == r.at(0); },
+            nullptr, ConsistencySpec::Middle());
+        op->SetEquiKeys([](const Row& r) { return r.at(0); },
+                        [](const Row& r) { return r.at(0); });
+        return op;
+      },
+      BinaryFeed());
+}
+
+TEST(OperatorCheckpointTest, UnionRoundtrip) {
+  ExpectRoundtripAtEverySplit(
+      [] { return std::make_unique<UnionOp>(ConsistencySpec::Middle()); },
+      BinaryFeed());
+}
+
+TEST(OperatorCheckpointTest, DifferenceRoundtripStrong) {
+  ExpectRoundtripAtEverySplit(
+      [] {
+        return std::make_unique<DifferenceOp>(ConsistencySpec::Strong());
+      },
+      BinaryFeed());
+}
+
+TEST(OperatorCheckpointTest, GroupByRoundtrip) {
+  ExpectRoundtripAtEverySplit(
+      [] {
+        SchemaPtr out = Schema::Make({{"key", ValueType::kInt64},
+                                      {"sum", ValueType::kInt64}});
+        return std::make_unique<GroupByAggregateOp>(
+            std::vector<std::string>{"key"},
+            std::vector<AggregateSpec>{
+                {AggregateKind::kSum, "value", "sum"}},
+            out, ConsistencySpec::Middle());
+      },
+      UnaryFeed());
+}
+
+TEST(OperatorCheckpointTest, AlterLifetimeRoundtrip) {
+  ExpectRoundtripAtEverySplit(
+      [] {
+        return std::make_unique<AlterLifetimeOp>(
+            [](const Event& e) { return e.vs; },
+            [](const Event&) { return Duration{10}; },
+            ConsistencySpec::Middle());
+      },
+      UnaryFeed());
+}
+
+TEST(OperatorCheckpointTest, StrongAlignmentBufferRoundtrip) {
+  // Strong consistency keeps messages blocked in the alignment buffer;
+  // the snapshot must carry them.
+  ExpectRoundtripAtEverySplit(
+      [] {
+        return std::make_unique<SelectOp>([](const Row&) { return true; },
+                                          ConsistencySpec::Strong());
+      },
+      UnaryFeed());
+}
+
+TEST(OperatorCheckpointTest, RestoreIntoWrongOperatorIsCorruption) {
+  SelectOp a([](const Row&) { return true; }, ConsistencySpec::Middle(),
+             "select_a");
+  SelectOp b([](const Row&) { return true; }, ConsistencySpec::Middle(),
+             "select_b");
+  io::BinaryWriter w;
+  a.Snapshot(&w);
+  io::BinaryReader r(w.bytes());
+  Status st = b.Restore(&r);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+// --- Service-level checkpoint ---
+
+struct ServiceFeed {
+  std::vector<io::JournalRecord> calls;
+};
+
+ServiceFeed MachineFeed(uint64_t seed, double disorder) {
+  workload::MachineConfig config;
+  config.num_machines = 5;
+  config.num_sessions = 60;
+  config.max_session_length = 30;
+  config.restart_scope = 8;
+  config.session_interval = 5;
+  config.seed = seed;
+  workload::MachineStreams streams =
+      workload::GenerateMachineEvents(config);
+  DisorderConfig dconfig;
+  dconfig.disorder_fraction = disorder;
+  dconfig.max_delay = disorder > 0 ? 8 : 0;
+  dconfig.cti_period = 15;
+  dconfig.seed = seed * 11;
+  ServiceFeed feed;
+  feed.calls = testing::MergeFeeds({
+      testing::FeedOf("INSTALL", ApplyDisorder(streams.installs, dconfig)),
+      testing::FeedOf("SHUTDOWN",
+                      ApplyDisorder(streams.shutdowns, dconfig)),
+      testing::FeedOf("RESTART", ApplyDisorder(streams.restarts, dconfig)),
+  });
+  return feed;
+}
+
+Status ApplyCall(CedrService* service, const io::JournalRecord& call) {
+  switch (call.op) {
+    case io::JournalOp::kPublish:
+      return service->Publish(call.name, call.event);
+    case io::JournalOp::kRetract:
+      return service->PublishRetraction(call.name, call.event, call.new_ve);
+    case io::JournalOp::kSyncPoint:
+      return service->PublishSyncPoint(call.name, call.time);
+    default:
+      return Status::InvalidArgument("unexpected call in feed");
+  }
+}
+
+std::vector<Message> SinkOf(const CedrService& service,
+                            const std::string& name) {
+  return service.GetQuery(name).ValueOrDie()->sink().messages();
+}
+
+TEST(ServiceCheckpointTest, MidStreamRoundtripIsPhysicallyIdentical) {
+  ServiceFeed feed = MachineFeed(21, /*disorder=*/0.3);
+  std::string query = workload::Cidr07ExampleQuery(/*hours=*/30,
+                                                   /*minutes=*/8);
+
+  auto prepare = [&](CedrService* service) {
+    for (const auto& [name, schema] : workload::MachineCatalog()) {
+      ASSERT_TRUE(service->RegisterEventType(name, schema).ok());
+    }
+    ASSERT_TRUE(service
+                    ->RegisterQuery(query, ConsistencySpec::Strong())
+                    .ok());
+  };
+
+  CedrService baseline;
+  prepare(&baseline);
+  for (const auto& call : feed.calls) {
+    ASSERT_TRUE(ApplyCall(&baseline, call).ok());
+  }
+  ASSERT_TRUE(baseline.Finish().ok());
+
+  CedrService first_half;
+  prepare(&first_half);
+  size_t split = feed.calls.size() / 2;
+  for (size_t i = 0; i < split; ++i) {
+    ASSERT_TRUE(ApplyCall(&first_half, feed.calls[i]).ok());
+  }
+  io::BinaryWriter w;
+  ASSERT_TRUE(first_half.Checkpoint(&w).ok());
+
+  io::BinaryReader r(w.bytes());
+  std::unique_ptr<CedrService> restored =
+      CedrService::Restore(&r).ValueOrDie();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  for (size_t i = split; i < feed.calls.size(); ++i) {
+    ASSERT_TRUE(ApplyCall(restored.get(), feed.calls[i]).ok());
+  }
+  ASSERT_TRUE(restored->Finish().ok());
+
+  EXPECT_TRUE(PhysicallyIdentical(SinkOf(baseline, "CIDR07_Example"),
+                                  SinkOf(*restored, "CIDR07_Example")));
+}
+
+TEST(ServiceCheckpointTest, RestorePreservesCatalogAndHardening) {
+  CedrService service;
+  ASSERT_TRUE(service
+                  .RegisterEventType("INSTALL",
+                                    workload::MachineEventSchema())
+                  .ok());
+  Event e = MakeEvent(1, 1, 10);
+  ASSERT_TRUE(service.Publish("INSTALL", e).ok());
+  ASSERT_TRUE(service.PublishSyncPoint("INSTALL", 5).ok());
+
+  io::BinaryWriter w;
+  ASSERT_TRUE(service.Checkpoint(&w).ok());
+  io::BinaryReader r(w.bytes());
+  std::unique_ptr<CedrService> restored =
+      CedrService::Restore(&r).ValueOrDie();
+
+  // Catalog survives.
+  EXPECT_EQ(restored->catalog().count("INSTALL"), 1u);
+  // The cs clock continues, not restarts.
+  EXPECT_EQ(restored->now(), service.now());
+  // Hardening state survives: regressive sync and unknown retractions
+  // are still rejected after restore.
+  EXPECT_EQ(restored->PublishSyncPoint("INSTALL", 5).code(),
+            StatusCode::kInvalidArgument);
+  Event never = MakeEvent(99, 1, 10);
+  EXPECT_EQ(restored->PublishRetraction("INSTALL", never, 5).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(restored->PublishRetraction("INSTALL", e, 5).ok());
+}
+
+TEST(ServiceCheckpointTest, FinishedFlagRoundtrips) {
+  CedrService service;
+  ASSERT_TRUE(service
+                  .RegisterEventType("INSTALL",
+                                    workload::MachineEventSchema())
+                  .ok());
+  ASSERT_TRUE(service.Finish().ok());
+  io::BinaryWriter w;
+  ASSERT_TRUE(service.Checkpoint(&w).ok());
+  io::BinaryReader r(w.bytes());
+  std::unique_ptr<CedrService> restored =
+      CedrService::Restore(&r).ValueOrDie();
+  EXPECT_EQ(restored->Publish("INSTALL", MakeEvent(1, 1, 2)).code(),
+            StatusCode::kExecutionError);
+}
+
+TEST(ServiceCheckpointTest, TruncatedCheckpointIsDataLoss) {
+  CedrService service;
+  ASSERT_TRUE(service
+                  .RegisterEventType("INSTALL",
+                                    workload::MachineEventSchema())
+                  .ok());
+  io::BinaryWriter w;
+  ASSERT_TRUE(service.Checkpoint(&w).ok());
+  std::string bytes = w.Take();
+  bytes.resize(bytes.size() / 2);
+  io::BinaryReader r(bytes);
+  Result<std::unique_ptr<CedrService>> got = CedrService::Restore(&r);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -123,6 +123,64 @@ TEST(ServiceTest, SyncPointsDriveBlockingQueries) {
   ASSERT_TRUE(service.Finish().ok());
 }
 
+TEST(ServiceTest, EmptyLifetimeRejected) {
+  CedrService service = MakeService();
+  EXPECT_EQ(service.Publish("INSTALL", MakeEvent(1, 5, 5, Payload(1)))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.Publish("INSTALL", MakeEvent(1, 5, 3, Payload(1)))
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, RetractionOfNeverPublishedEventRejected) {
+  CedrService service = MakeService();
+  Event published = MakeEvent(1, 2, 10, Payload(7));
+  ASSERT_TRUE(service.Publish("INSTALL", published).ok());
+  // Never published at all.
+  Event ghost = MakeEvent(99, 2, 10, Payload(7));
+  EXPECT_EQ(service.PublishRetraction("INSTALL", ghost, 5).code(),
+            StatusCode::kNotFound);
+  // Published, but on a different type.
+  EXPECT_EQ(service.PublishRetraction("SHUTDOWN", published, 5).code(),
+            StatusCode::kNotFound);
+  // Unknown type outranks the never-published check.
+  EXPECT_EQ(service.PublishRetraction("NOPE", published, 5).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServiceTest, SyncPointsMustStrictlyAdvance) {
+  CedrService service = MakeService();
+  EXPECT_EQ(service.PublishSyncPoint("NOPE", 10).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(service.PublishSyncPoint("INSTALL", 10).ok());
+  // Duplicate.
+  EXPECT_EQ(service.PublishSyncPoint("INSTALL", 10).code(),
+            StatusCode::kInvalidArgument);
+  // Regressive.
+  EXPECT_EQ(service.PublishSyncPoint("INSTALL", 4).code(),
+            StatusCode::kInvalidArgument);
+  // Sync points are tracked per type; another type is unaffected.
+  ASSERT_TRUE(service.PublishSyncPoint("SHUTDOWN", 4).ok());
+  // A rejected sync point must not have corrupted the tracker.
+  ASSERT_TRUE(service.PublishSyncPoint("INSTALL", 11).ok());
+}
+
+TEST(ServiceTest, RejectedCallsBurnNoArrivalTime) {
+  // Determinism on recovery: a failed publish must not consume a cs
+  // stamp (failed calls are not journaled, so replay would otherwise
+  // drift).
+  CedrService service = MakeService();
+  Time before = service.now();
+  EXPECT_FALSE(service.Publish("NOPE", MakeEvent(1, 1, 2)).ok());
+  EXPECT_FALSE(service.Publish("INSTALL", MakeEvent(1, 5, 5)).ok());
+  EXPECT_FALSE(
+      service.PublishRetraction("INSTALL", MakeEvent(9, 1, 4), 2).ok());
+  EXPECT_EQ(service.now(), before);
+  ASSERT_TRUE(service.Publish("INSTALL", MakeEvent(1, 1, 2)).ok());
+  EXPECT_EQ(service.now(), before + 1);
+}
+
 TEST(ServiceTest, FinishIsTerminal) {
   CedrService service = MakeService();
   ASSERT_TRUE(service.Finish().ok());

@@ -147,6 +147,36 @@ TEST(SwitchingTest, SplicedStreamIsWellFormed) {
   EXPECT_EQ(unmatched, 0u);
 }
 
+TEST(SwitchingTest, RetainedInputIsTrimmedAtSyncPoints) {
+  // The replay buffer must not grow with the stream: at every common
+  // sync point the input prefix is folded into a barrier snapshot and
+  // dropped, so retention is bounded by the provider's sync cadence.
+  Feed feed = MakeFeed(11, /*disordered=*/true);
+  EventList expected = PureRun(feed, ConsistencySpec::Middle());
+
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Strong())
+                   .ValueOrDie();
+  size_t max_retained = 0;
+  size_t two_thirds = feed.merged.size() * 2 / 3;
+  for (size_t i = 0; i < feed.merged.size(); ++i) {
+    if (i == two_thirds) {
+      // Switch after many trims: the barrier snapshot (not a full
+      // replay) brings the new level up to date.
+      ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Middle()).ok());
+    }
+    ASSERT_TRUE(query->Push(feed.merged[i].first, feed.merged[i].second)
+                    .ok());
+    max_retained = std::max(max_retained, query->retained_input_size());
+  }
+  ASSERT_TRUE(query->Finish().ok());
+
+  EXPECT_LT(max_retained, feed.merged.size() / 2)
+      << "retained input grew with the stream instead of trimming";
+  EXPECT_TRUE(denotation::StarEqual(query->Ideal(), expected));
+}
+
 TEST(LoadPolicyTest, RecommendsOverloadSpecUnderPressure) {
   LoadPolicy policy;
   policy.max_state = 100;
