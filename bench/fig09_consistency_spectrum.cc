@@ -8,13 +8,16 @@
 //   * the lower-right (M = inf, B = 0) corner is middle consistency;
 //   * from there, increasing B climbs to strong at the top right;
 //   * increasing B beyond M has no effect (the upper-left triangle).
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/format.h"
+#include "denotation/ideal.h"
 #include "engine/executor.h"
 #include "engine/query.h"
+#include "workload/adversarial.h"
 #include "workload/disorder.h"
 #include "workload/machines.h"
 
@@ -76,6 +79,162 @@ std::string Label(Duration d) {
   return d == kInfinity ? "inf" : std::to_string(d);
 }
 
+/// The spectrum is not only a design-time choice: the supervised runtime
+/// moves a live query along it. This run offers the same machine
+/// workload with a calm-burst-calm arrival curve through the supervisor
+/// and reports, per phase, how far the governor walked the query down
+/// the consistency ladder - and that it walked it back.
+void RunGovernorBurst() {
+  workload::AdversarialConfig aconfig;
+  aconfig.machines.num_machines = 5;
+  aconfig.machines.num_sessions = 120;
+  aconfig.machines.max_session_length = 40;
+  aconfig.machines.restart_scope = 10;
+  aconfig.machines.session_interval = 6;
+  aconfig.machines.seed = 3;
+  testing::SupervisedScenario scenario =
+      workload::BurstOverloadScenario(aconfig);
+  QueryBudget budget;
+  budget.max_buffer = 32;
+  scenario.queries[0].budget = budget;
+
+  // The ticks spanned by the burst window (same fractions the scenario
+  // builder used). The queue backlog it leaves takes a few more ticks to
+  // drain, so pressure peaks just after the window closes.
+  const size_t lo_idx =
+      static_cast<size_t>(aconfig.burst_begin * scenario.feed.size());
+  const size_t hi_idx = std::min(
+      static_cast<size_t>(aconfig.burst_end * scenario.feed.size()),
+      scenario.feed.size() - 1);
+  const int64_t burst_lo = scenario.feed[lo_idx].at_tick;
+  const int64_t burst_hi = scenario.feed[hi_idx].at_tick;
+
+  SupervisorConfig config;
+  config.ingress.queue_capacity = 1 << 16;
+  config.ingress.drain_per_tick = 48;
+  config.governor.degrade_after = 1;
+  config.governor.restore_after = 6;
+  config.session.heartbeat_timeout = 0;
+  SupervisedService svc(config);
+  for (const auto& [name, schema] : scenario.catalog) {
+    svc.RegisterEventType(name, schema).ok();
+  }
+  const std::string name =
+      svc.RegisterQuery(scenario.queries[0].text, scenario.queries[0].spec,
+                        scenario.queries[0].budget)
+          .ValueOrDie();
+  for (const auto& [source, types] : scenario.sources) {
+    svc.AttachSource(source, types).ok();
+  }
+
+  struct Window {
+    const char* label;
+    int64_t ticks = 0;
+    size_t max_queue = 0;
+    size_t max_buffer = 0;
+    uint64_t degrades = 0;
+    uint64_t restores = 0;
+    std::string level = "-";
+  };
+  Window windows[3] = {{"before burst"}, {"during burst"}, {"after burst"}};
+
+  size_t i = 0;
+  uint64_t seq = 0;
+  int64_t tick = 0;
+  uint64_t prev_degrades = 0, prev_restores = 0;
+  while (i < scenario.feed.size() || svc.queue_depth() > 0) {
+    while (i < scenario.feed.size() && scenario.feed[i].at_tick <= tick) {
+      const io::JournalRecord& call = scenario.feed[i].call;
+      SupervisedService::Ingress in{scenario.feed[i].source, 0, seq++};
+      switch (call.op) {
+        case io::JournalOp::kPublish:
+          svc.Publish(in, call.name, call.event).ok();
+          break;
+        case io::JournalOp::kRetract:
+          svc.PublishRetraction(in, call.name, call.event, call.new_ve).ok();
+          break;
+        case io::JournalOp::kSyncPoint:
+          svc.PublishSyncPoint(in, call.name, call.time).ok();
+          break;
+        default:
+          break;
+      }
+      ++i;
+    }
+    svc.Tick().ok();
+    Window& w =
+        windows[tick < burst_lo ? 0 : tick <= burst_hi ? 1 : 2];
+    ++w.ticks;
+    w.max_queue = std::max(w.max_queue, svc.queue_depth());
+    QueryStats stats = svc.StatsFor(name).ValueOrDie();
+    w.max_buffer = std::max(w.max_buffer, stats.cur_buffer_size);
+    GovernorStatus gov = svc.GovernorOf(name).ValueOrDie();
+    w.degrades += gov.degrades - prev_degrades;
+    w.restores += gov.restores - prev_restores;
+    prev_degrades = gov.degrades;
+    prev_restores = gov.restores;
+    w.level = gov.current.ToString();
+    ++tick;
+  }
+  svc.Finish().ok();
+  GovernorStatus gov = svc.GovernorOf(name).ValueOrDie();
+
+  std::printf(
+      "Walking the spectrum at runtime: supervised overload burst\n"
+      "(%s; steady %d calls/tick, burst %d calls/tick, drain %d/tick).\n\n",
+      budget.ToString().c_str(), aconfig.steady_rate, aconfig.burst_rate,
+      config.ingress.drain_per_tick);
+  TextTable table({"phase", "ticks", "max ingress", "max buffered",
+                   "degrades", "restores", "level at end"});
+  for (const Window& w : windows) {
+    table.AddRow({w.label, std::to_string(w.ticks),
+                  std::to_string(w.max_queue), std::to_string(w.max_buffer),
+                  std::to_string(w.degrades), std::to_string(w.restores),
+                  w.level});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  auto check = [](const char* claim, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", claim);
+  };
+  uint64_t total_degrades =
+      windows[0].degrades + windows[1].degrades + windows[2].degrades;
+  check("the burst tripped the governor at least once", total_degrades >= 1);
+  check("Finish leaves the query at its requested level",
+        gov.current == gov.requested);
+  check("nothing was shed (the governor absorbed the burst)",
+        svc.shed().TotalShed() == 0);
+
+  // Converged answer check: the degraded-then-restored run must match an
+  // unsupervised strong run over the same calls.
+  auto pure = CompiledQuery::Compile(scenario.queries[0].text,
+                                     scenario.catalog,
+                                     ConsistencySpec::Strong())
+                  .ValueOrDie();
+  for (const testing::SupervisedCall& call : scenario.feed) {
+    switch (call.call.op) {
+      case io::JournalOp::kPublish:
+        pure->Push(call.call.name, InsertOf(call.call.event)).ok();
+        break;
+      case io::JournalOp::kRetract:
+        pure->Push(call.call.name,
+                   RetractOf(call.call.event, call.call.new_ve))
+            .ok();
+        break;
+      case io::JournalOp::kSyncPoint:
+        pure->Push(call.call.name, CtiOf(call.call.time)).ok();
+        break;
+      default:
+        break;
+    }
+  }
+  pure->Finish().ok();
+  const SwitchableQuery* governed = svc.GetQuery(name).ValueOrDie();
+  check("degraded-then-restored run converges to the unpressured answer",
+        denotation::StarEqual(governed->Ideal(), pure->sink().Ideal()));
+  std::printf("\n");
+}
+
 int Run() {
   std::printf(
       "Figure 9. The (M, B) consistency spectrum, measured. Workload:\n"
@@ -130,6 +289,9 @@ int Run() {
   check("increasing B beyond M has no effect (B=inf,M=25 == B=25,M=25)",
         beyond.lost == diagonal.lost && beyond.retracts == diagonal.retracts &&
             beyond.output == diagonal.output);
+
+  std::printf("\n");
+  RunGovernorBurst();
   return 0;
 }
 

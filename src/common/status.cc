@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Data loss";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

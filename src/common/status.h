@@ -28,6 +28,10 @@ enum class StatusCode {
   /// Durable state is present but fails validation (bad magic, version,
   /// or checksum): it must not be restored.
   kCorruption,
+  /// A bounded resource (ingress queue, buffer budget) is full. The
+  /// caller should back off and retry; the message carries a retry-after
+  /// hint when one is known.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -81,6 +85,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

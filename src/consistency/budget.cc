@@ -1,0 +1,21 @@
+#include "consistency/budget.h"
+
+#include "common/format.h"
+
+namespace cedr {
+
+namespace {
+std::string SizeLabel(size_t v) {
+  return v == QueryBudget::kUnboundedSize ? "unbounded" : std::to_string(v);
+}
+}  // namespace
+
+std::string QueryBudget::ToString() const {
+  if (Unlimited()) return "budget(unlimited)";
+  return StrCat("budget(footprint<=", SizeLabel(max_state_footprint),
+                ", buffer<=", SizeLabel(max_buffer),
+                ", blocking/check<=", TimeToString(max_blocking_per_check),
+                ")");
+}
+
+}  // namespace cedr

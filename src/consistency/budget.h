@@ -1,0 +1,56 @@
+// Per-query resource budgets for consistency-sensitive optimization
+// (Section 5 future work: a system that "switches consistency levels
+// under load"). A budget bounds what a query is allowed to cost while
+// running at its requested level; the supervisor's governor watches
+// QueryStats against the budget and degrades the level (strong ->
+// middle -> weak) under sustained violation, restoring the requested
+// level once pressure clears.
+//
+// Budgets are expressed over *current* occupancy and *per-check*
+// blocking deltas, not high-water marks: a governor keyed to peaks
+// could never observe recovery.
+#ifndef CEDR_CONSISTENCY_BUDGET_H_
+#define CEDR_CONSISTENCY_BUDGET_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "common/time.h"
+
+namespace cedr {
+
+struct QueryBudget {
+  static constexpr size_t kUnboundedSize =
+      std::numeric_limits<size_t>::max();
+
+  /// Largest tolerable current state footprint (events held across the
+  /// plan's operators plus alignment buffers).
+  size_t max_state_footprint = kUnboundedSize;
+  /// Largest tolerable current alignment-buffer occupancy (messages
+  /// blocked waiting for stragglers).
+  size_t max_buffer = kUnboundedSize;
+  /// Largest tolerable blocking accumulated between two consecutive
+  /// governor checks (application-time units).
+  Duration max_blocking_per_check = kInfinity;
+
+  bool Unlimited() const {
+    return max_state_footprint == kUnboundedSize &&
+           max_buffer == kUnboundedSize &&
+           max_blocking_per_check == kInfinity;
+  }
+
+  /// True when the observed load exceeds the budget. `blocking_delta` is
+  /// the blocking accumulated since the previous check.
+  bool Violated(size_t cur_footprint, size_t cur_buffer,
+                Duration blocking_delta) const {
+    return cur_footprint > max_state_footprint || cur_buffer > max_buffer ||
+           blocking_delta > max_blocking_per_check;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_CONSISTENCY_BUDGET_H_

@@ -131,6 +131,10 @@ Status DurableService::Apply(const io::JournalRecord& record) {
       return service_->PublishSyncPoint(record.name, record.time);
     case io::JournalOp::kFinish:
       return service_->Finish();
+    case io::JournalOp::kEpoch:
+      // Session epochs are supervisor state (engine/supervisor.h); the
+      // plain durable service carries them through without acting.
+      return Status::OK();
   }
   return Status::Corruption("journal record has an unknown op");
 }

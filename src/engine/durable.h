@@ -40,6 +40,9 @@ class DurableService {
   /// journaled call after the snapshot's base index. kDataLoss when
   /// bytes are missing/truncated or the journal does not pair with the
   /// snapshot; kCorruption when bytes are present but fail validation.
+  /// A torn journal tail (partial final record from a crash mid-write)
+  /// is not an error: the torn call was never acknowledged, so the
+  /// intact prefix is replayed as the complete history.
   static Result<std::unique_ptr<DurableService>> Recover(
       const std::string& snapshot_bytes, const std::string& journal_bytes,
       DurableOptions options = {});

@@ -1,0 +1,114 @@
+#include "engine/session.h"
+
+#include "common/format.h"
+
+namespace cedr {
+
+const char* LivenessPolicyToString(LivenessPolicy policy) {
+  switch (policy) {
+    case LivenessPolicy::kSynthesize:
+      return "synthesize";
+    case LivenessPolicy::kHold:
+      return "hold";
+    case LivenessPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "?";
+}
+
+const char* SourceStateToString(SourceState state) {
+  switch (state) {
+    case SourceState::kLive:
+      return "live";
+    case SourceState::kSilent:
+      return "silent";
+    case SourceState::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+SourceSession::SourceSession(std::string name, SessionConfig config,
+                             std::vector<std::string> types)
+    : name_(std::move(name)), config_(config), types_(std::move(types)) {}
+
+Result<bool> SourceSession::Admit(uint64_t epoch, uint64_t seq,
+                                  int64_t now_tick) {
+  if (epoch < epoch_) {
+    ++stats_.stale_epoch_rejects;
+    return Status::ExecutionError(
+        StrCat("source '", name_, "' call carries stale epoch ", epoch,
+               " (current epoch is ", epoch_, "); reconnect first"));
+  }
+  if (epoch > epoch_) {
+    ++stats_.stale_epoch_rejects;
+    return Status::ExecutionError(
+        StrCat("source '", name_, "' call carries unknown epoch ", epoch,
+               " (current epoch is ", epoch_,
+               "); epochs are only advanced by Reconnect"));
+  }
+  if (state_ == SourceState::kQuarantined) {
+    ++stats_.quarantine_rejects;
+    return Status::ExecutionError(
+        StrCat("source '", name_,
+               "' is quarantined; reconnect to resume publishing"));
+  }
+  if (seq < next_seq_) {
+    // Replay overlap after a reconnect: the provider resent something
+    // already accepted. Dropping it keeps replay idempotent.
+    ++stats_.duplicates;
+    last_activity_tick_ = now_tick;
+    return false;
+  }
+  if (seq > next_seq_) {
+    // The provider skipped ahead: messages were lost upstream of us.
+    // Record the gap and resynchronize to the provider's numbering; the
+    // stream stays well-formed (the lost calls were never seen), the
+    // hole is just made observable instead of silent.
+    ++stats_.gaps;
+  }
+  next_seq_ = seq + 1;
+  ++stats_.accepted;
+  last_activity_tick_ = now_tick;
+  if (state_ == SourceState::kSilent) state_ = SourceState::kLive;
+  return true;
+}
+
+SourceSession::ResumePoint SourceSession::Reconnect(int64_t now_tick) {
+  ++epoch_;
+  ++stats_.reconnects;
+  state_ = SourceState::kLive;
+  last_activity_tick_ = now_tick;
+  return ResumePoint{epoch_, next_seq_};
+}
+
+void SourceSession::RestoreProgress(uint64_t epoch, uint64_t next_seq) {
+  epoch_ = epoch;
+  if (next_seq > next_seq_) next_seq_ = next_seq;
+}
+
+bool SourceSession::DeadlineMissed(int64_t now_tick) const {
+  if (config_.heartbeat_timeout <= 0) return false;
+  if (state_ != SourceState::kLive) return false;
+  return now_tick - last_activity_tick_ > config_.heartbeat_timeout;
+}
+
+void SourceSession::MarkSilent(Time synthesized_frontier) {
+  state_ = SourceState::kSilent;
+  ++stats_.silences;
+  RaiseFrontier(synthesized_frontier);
+}
+
+void SourceSession::MarkQuarantined(Time synthesized_frontier) {
+  state_ = SourceState::kQuarantined;
+  ++stats_.silences;
+  RaiseFrontier(synthesized_frontier);
+}
+
+void SourceSession::RaiseFrontier(Time synthesized_frontier) {
+  if (synthesized_frontier > synthesized_frontier_) {
+    synthesized_frontier_ = synthesized_frontier;
+  }
+}
+
+}  // namespace cedr

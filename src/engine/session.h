@@ -1,0 +1,136 @@
+// Per-source ingress sessions: the paper's stream model assumes
+// providers that can stall, lag, reconnect, or die. A SourceSession
+// gives each provider a supervised connection with
+//
+//   * monotonically checked sequence numbers - replayed calls (seq
+//     below the next expected) are recognized as duplicates and dropped
+//     idempotently, skipped-ahead calls are counted as gaps;
+//   * epoch fencing - every reconnect bumps the epoch, and calls carrying
+//     an older epoch are rejected (a zombie provider that lost its
+//     connection cannot race its own replacement);
+//   * liveness tracking against a logical clock - a source whose last
+//     accepted call is older than the heartbeat deadline is declared
+//     silent, and the supervisor applies the configured policy
+//     (synthesize a sync point / hold / quarantine).
+#ifndef CEDR_ENGINE_SESSION_H_
+#define CEDR_ENGINE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace cedr {
+
+/// What the supervisor does when a source misses its heartbeat deadline.
+enum class LivenessPolicy {
+  /// Synthesize a sync point for the silent source's event types at the
+  /// live frontier, unblocking strong/middle queries that would
+  /// otherwise stall forever on one dead provider. Messages the source
+  /// later sends below the synthesized frontier are shed and counted.
+  kSynthesize,
+  /// Do nothing: strong semantics, queries wait as long as it takes.
+  kHold,
+  /// Synthesize (as above) and additionally seal the source: further
+  /// ingress is rejected until the provider reconnects under a new
+  /// epoch.
+  kQuarantine,
+};
+
+const char* LivenessPolicyToString(LivenessPolicy policy);
+
+enum class SourceState { kLive, kSilent, kQuarantined };
+
+const char* SourceStateToString(SourceState state);
+
+struct SessionConfig {
+  /// A source with no accepted call for more than this many logical
+  /// ticks misses its heartbeat deadline. <= 0 disables liveness
+  /// tracking (sources are never declared silent).
+  int64_t heartbeat_timeout = 16;
+  LivenessPolicy on_silence = LivenessPolicy::kSynthesize;
+};
+
+struct SessionStats {
+  uint64_t accepted = 0;
+  uint64_t duplicates = 0;        // replayed seq, dropped idempotently
+  uint64_t gaps = 0;              // seq jumped ahead of the expected one
+  uint64_t stale_epoch_rejects = 0;
+  uint64_t quarantine_rejects = 0;
+  uint64_t late_after_synthesis = 0;  // shed below a synthesized frontier
+  uint64_t synthesized_syncs = 0;
+  uint64_t reconnects = 0;
+  uint64_t silences = 0;          // times the source was declared silent
+};
+
+class SourceSession {
+ public:
+  /// Where a reconnecting provider must resume: its new epoch and the
+  /// first sequence number the session has not accepted. The provider
+  /// replays from `next_seq`; anything below it is dropped as a
+  /// duplicate, so replay is idempotent.
+  struct ResumePoint {
+    uint64_t epoch = 0;
+    uint64_t next_seq = 0;
+  };
+
+  SourceSession(std::string name, SessionConfig config,
+                std::vector<std::string> types);
+
+  /// Admission control for one ingress call at logical time `now_tick`.
+  /// Returns true when the call should be applied, false when it is a
+  /// replay duplicate to drop silently. Errors: a stale epoch or a
+  /// quarantined source is kExecutionError (the provider must
+  /// reconnect). A gap (seq ahead of expected) is tolerated and
+  /// counted; the session resynchronizes to the provider's sequence.
+  Result<bool> Admit(uint64_t epoch, uint64_t seq, int64_t now_tick);
+
+  /// Bumps the epoch (fencing any call still carrying the old one),
+  /// revives a silent or quarantined source, and returns the resume
+  /// point for provider-side replay.
+  ResumePoint Reconnect(int64_t now_tick);
+
+  /// Forces the session to a known epoch/next-seq (journal replay).
+  void RestoreProgress(uint64_t epoch, uint64_t next_seq);
+
+  /// True when the source is live but has missed its heartbeat deadline.
+  bool DeadlineMissed(int64_t now_tick) const;
+
+  /// Transitions on a missed deadline; `silent` also records the
+  /// synthesized frontier below which late messages will be shed.
+  void MarkSilent(Time synthesized_frontier);
+  void MarkQuarantined(Time synthesized_frontier);
+  /// Raises the synthesized frontier (the source is still silent and
+  /// the live frontier moved on).
+  void RaiseFrontier(Time synthesized_frontier);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& types() const { return types_; }
+  SourceState state() const { return state_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t next_seq() const { return next_seq_; }
+  int64_t last_activity_tick() const { return last_activity_tick_; }
+  /// kMinTime until a sync point has been synthesized for this source.
+  Time synthesized_frontier() const { return synthesized_frontier_; }
+  const SessionConfig& config() const { return config_; }
+
+  SessionStats* mutable_stats() { return &stats_; }
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  SessionConfig config_;
+  std::vector<std::string> types_;
+  SourceState state_ = SourceState::kLive;
+  uint64_t epoch_ = 0;
+  uint64_t next_seq_ = 0;
+  int64_t last_activity_tick_ = 0;
+  Time synthesized_frontier_ = kMinTime;
+  SessionStats stats_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_SESSION_H_

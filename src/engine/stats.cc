@@ -36,6 +36,8 @@ QueryStats CollectStats(const std::vector<const Operator*>& operators) {
     out.max_state_size = std::max(out.max_state_size, s.max_state_size);
     out.total_state_size += s.max_state_size;
     out.max_buffer_size = std::max(out.max_buffer_size, s.alignment.max_size);
+    out.cur_state_size += s.cur_state_size;
+    out.cur_buffer_size += s.cur_buffered;
     out.total_blocking += s.alignment.total_blocking_cs;
     out.max_blocking = std::max(out.max_blocking, s.alignment.max_blocking_cs);
     out.released_messages += s.alignment.released;

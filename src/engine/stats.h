@@ -22,10 +22,23 @@ struct QueryStats {
   size_t total_state_size = 0;
   /// Maximum alignment-buffer occupancy across the plan.
   size_t max_buffer_size = 0;
+  /// Current occupancy (at collection time, not high-water): events held
+  /// in operator state and messages blocked in alignment buffers, summed
+  /// over the plan. The closed-loop governor keys off these so that a
+  /// query can be observed to *recover* after pressure clears.
+  size_t cur_state_size = 0;
+  size_t cur_buffer_size = 0;
   /// Blocking in CEDR-time units: total and worst single message.
   Time total_blocking = 0;
   Time max_blocking = 0;
   uint64_t released_messages = 0;
+  /// Supervisor-level ingress accounting, attributed to this query's
+  /// input types (zero when the query runs without a supervisor).
+  /// Every shed message is counted exactly once per affected query.
+  uint64_t shed_inserts = 0;
+  uint64_t shed_retractions = 0;
+  uint64_t rejected_backpressure = 0;
+  uint64_t synthesized_ctis = 0;
 
   /// Mean blocking per released message.
   double MeanBlocking() const;
@@ -33,6 +46,10 @@ struct QueryStats {
   uint64_t OutputSize() const { return out_inserts + out_retracts; }
   /// Peak memory footprint proxy: operator state + alignment buffers.
   size_t StateFootprint() const { return max_state_size + max_buffer_size; }
+  /// Current memory footprint proxy (recedes when pressure clears).
+  size_t CurFootprint() const { return cur_state_size + cur_buffer_size; }
+  /// Total messages shed by the supervisor on this query's inputs.
+  uint64_t ShedMessages() const { return shed_inserts + shed_retractions; }
 
   std::string ToString() const;
 };

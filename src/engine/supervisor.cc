@@ -1,0 +1,723 @@
+#include "engine/supervisor.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace cedr {
+
+namespace {
+
+/// Sync time of a queued ingress call (vs for inserts, new_ve for
+/// retractions, t for sync points).
+Time CallSyncTime(const io::JournalRecord& rec) {
+  switch (rec.op) {
+    case io::JournalOp::kPublish:
+      return rec.event.vs;
+    case io::JournalOp::kRetract:
+      return rec.new_ve;
+    case io::JournalOp::kSyncPoint:
+      return rec.time;
+    default:
+      return kMinTime;
+  }
+}
+
+std::vector<std::string> SplitTypes(const std::string& joined) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= joined.size()) {
+    size_t space = joined.find(' ', start);
+    if (space == std::string::npos) space = joined.size();
+    if (space > start) out.push_back(joined.substr(start, space - start));
+    start = space + 1;
+  }
+  return out;
+}
+
+std::string JoinTypes(const std::vector<std::string>& types) {
+  std::string out;
+  for (const std::string& t : types) {
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* GovernorPhaseToString(GovernorPhase phase) {
+  switch (phase) {
+    case GovernorPhase::kSteady:
+      return "steady";
+    case GovernorPhase::kDegraded:
+      return "degraded";
+    case GovernorPhase::kRestoring:
+      return "restoring";
+  }
+  return "?";
+}
+
+SupervisedService::SupervisedService(SupervisorConfig config)
+    : config_(config), shed_rng_(config.ingress.shed_seed) {}
+
+Status SupervisedService::RegisterEventType(const std::string& name,
+                                            SchemaPtr schema) {
+  if (finished_) return Status::ExecutionError("supervisor already finished");
+  if (schema == nullptr) {
+    return Status::InvalidArgument("event type needs a schema");
+  }
+  auto it = catalog_.find(name);
+  if (it != catalog_.end()) {
+    if (it->second->Equals(*schema)) return Status::OK();
+    return Status::AlreadyExists(
+        StrCat("event type '", name, "' already registered with schema ",
+               it->second->ToString()));
+  }
+  catalog_.emplace(name, schema);
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kRegisterType;
+  rec.name = name;
+  rec.schema = std::move(schema);
+  journal_.Append(rec);
+  return Status::OK();
+}
+
+std::vector<ConsistencySpec> SupervisedService::LadderFor(
+    const ConsistencySpec& spec, const GovernorConfig& gov) {
+  std::vector<ConsistencySpec> ladder = {spec};
+  ConsistencySpec effective = spec.Effective();
+  if (effective.max_blocking > 0) {
+    // Non-blocking rung at the same memory: optimistic emission with
+    // full repair of whatever the requested level remembered.
+    ladder.push_back(ConsistencySpec::Custom(0, effective.max_memory));
+  }
+  if (effective.max_memory == kInfinity) {
+    ladder.push_back(ConsistencySpec::Weak(gov.weak_memory));
+  }
+  // Drop rungs equal to their predecessor (e.g. a weak request has a
+  // one-rung ladder and is never degraded).
+  std::vector<ConsistencySpec> out;
+  for (const ConsistencySpec& s : ladder) {
+    if (out.empty() || !(out.back() == s)) out.push_back(s);
+  }
+  return out;
+}
+
+Result<std::string> SupervisedService::RegisterQuery(
+    const std::string& text, std::optional<ConsistencySpec> spec_override,
+    std::optional<QueryBudget> budget) {
+  if (finished_) return Status::ExecutionError("supervisor already finished");
+  ConsistencySpec probe_spec =
+      spec_override.value_or(ConsistencySpec::Middle());
+  CEDR_ASSIGN_OR_RETURN(
+      std::unique_ptr<SwitchableQuery> query,
+      SwitchableQuery::Create(text, catalog_, probe_spec));
+  if (!spec_override.has_value()) {
+    // Honor the query's own CONSISTENCY clause: recreate at the bound
+    // spec when it differs from the probe.
+    ConsistencySpec bound = query->active().bound().spec;
+    if (!(bound == probe_spec)) {
+      CEDR_ASSIGN_OR_RETURN(query,
+                            SwitchableQuery::Create(text, catalog_, bound));
+    }
+  }
+  std::string name = query->active().bound().name;
+  if (queries_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StrCat("a query named '", name, "' is already registered"));
+  }
+  Governed governed;
+  governed.requested = query->current_spec();
+  governed.budget = budget.value_or(config_.governor.default_budget);
+  governed.ladder = LadderFor(governed.requested, config_.governor);
+  std::vector<std::string> inputs = query->active().InputTypes();
+  governed.input_types.insert(inputs.begin(), inputs.end());
+  governed.query = std::move(query);
+  queries_.emplace(name, std::move(governed));
+
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kRegisterQuery;
+  rec.name = name;
+  rec.text = text;
+  rec.has_spec = spec_override.has_value();
+  if (rec.has_spec) rec.spec = *spec_override;
+  journal_.Append(rec);
+  return name;
+}
+
+Status SupervisedService::AttachSource(
+    const std::string& source, const std::vector<std::string>& types) {
+  if (finished_) return Status::ExecutionError("supervisor already finished");
+  if (source.empty() || source == kSupervisorSource) {
+    return Status::InvalidArgument("invalid source name");
+  }
+  if (sessions_.count(source) > 0) {
+    return Status::AlreadyExists(
+        StrCat("source '", source, "' is already attached"));
+  }
+  if (types.empty()) {
+    return Status::InvalidArgument(
+        StrCat("source '", source, "' must own at least one event type"));
+  }
+  for (const std::string& type : types) {
+    if (catalog_.count(type) == 0) {
+      return Status::NotFound(StrCat("unknown event type '", type, "'"));
+    }
+    auto owner = type_owner_.find(type);
+    if (owner != type_owner_.end()) {
+      return Status::AlreadyExists(
+          StrCat("event type '", type, "' is already owned by source '",
+                 owner->second, "'"));
+    }
+  }
+  for (const std::string& type : types) type_owner_[type] = source;
+  sessions_.emplace(source,
+                    SourceSession(source, config_.session, types));
+
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kEpoch;
+  rec.name = source;
+  rec.seq = 0;
+  rec.text = JoinTypes(types);
+  journal_.Append(rec);
+  return Status::OK();
+}
+
+Result<SourceSession::ResumePoint> SupervisedService::Reconnect(
+    const std::string& source) {
+  if (finished_) return Status::ExecutionError("supervisor already finished");
+  auto it = sessions_.find(source);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrCat("no source named '", source, "'"));
+  }
+  SourceSession::ResumePoint resume = it->second.Reconnect(now_ticks_);
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kEpoch;
+  rec.name = source;
+  rec.seq = resume.epoch;
+  journal_.Append(rec);
+  return resume;
+}
+
+Status SupervisedService::Validate(const io::JournalRecord& record) const {
+  auto owner = type_owner_.find(record.name);
+  if (catalog_.count(record.name) == 0) {
+    return Status::NotFound(
+        StrCat("unknown event type '", record.name, "'"));
+  }
+  if (owner == type_owner_.end() || owner->second != record.source) {
+    return Status::InvalidArgument(
+        StrCat("source '", record.source, "' does not own event type '",
+               record.name, "'"));
+  }
+  switch (record.op) {
+    case io::JournalOp::kPublish: {
+      const Event& e = record.event;
+      if (e.payload.schema() != nullptr &&
+          !e.payload.schema()->Equals(*catalog_.at(record.name))) {
+        return Status::InvalidArgument(
+            StrCat("payload schema does not match event type '",
+                   record.name, "'"));
+      }
+      if (e.ve <= e.vs) {
+        return Status::InvalidArgument(
+            StrCat("event ", e.id, " has an empty lifetime [", e.vs, ", ",
+                   e.ve, ")"));
+      }
+      return Status::OK();
+    }
+    case io::JournalOp::kRetract:
+      if (record.new_ve >= record.event.ve) {
+        return Status::InvalidArgument(
+            "retractions only shrink lifetimes (new end must be smaller)");
+      }
+      return Status::OK();
+    case io::JournalOp::kSyncPoint:
+      // The must-advance check runs after admission (in Offer): a stale
+      // sync point from a silenced source is late traffic to shed, not a
+      // protocol violation.
+      return Status::OK();
+    default:
+      return Status::InvalidArgument("unsupported ingress op");
+  }
+}
+
+bool SupervisedService::TryShedOne() {
+  // Weak-consistency-repairable messages go first: a dropped provider
+  // retraction is exactly the "lost correction" weak consistency is
+  // defined to tolerate. Inserts go next (real data loss, recorded).
+  // Sync points are never shed - they carry guarantees, and dropping
+  // one can wedge strong queries, which is what shedding exists to
+  // prevent.
+  for (io::JournalOp victim_op :
+       {io::JournalOp::kRetract, io::JournalOp::kPublish}) {
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i].op == victim_op) candidates.push_back(i);
+    }
+    if (candidates.empty()) continue;
+    size_t pick = candidates[shed_rng_.NextBounded(candidates.size())];
+    const io::JournalRecord& victim = queue_[pick];
+    TypeShed& per_type = type_shed_[victim.name];
+    if (victim_op == io::JournalOp::kRetract) {
+      ++shed_.shed_retractions;
+      ++per_type.retractions;
+    } else {
+      ++shed_.shed_inserts;
+      ++per_type.inserts;
+    }
+    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
+    return true;
+  }
+  return false;
+}
+
+Status SupervisedService::Offer(const Ingress& ingress,
+                                io::JournalRecord record) {
+  if (finished_) return Status::ExecutionError("supervisor already finished");
+  auto session_it = sessions_.find(ingress.source);
+  if (session_it == sessions_.end()) {
+    return Status::NotFound(
+        StrCat("no source named '", ingress.source, "'"));
+  }
+  SourceSession& session = session_it->second;
+  record.source = ingress.source;
+  record.seq = ingress.seq;
+  CEDR_RETURN_NOT_OK(Validate(record));
+
+  // Backpressure before admission, so a rejected call burns no sequence
+  // number and the provider can retry it verbatim.
+  if (queue_.size() >= config_.ingress.queue_capacity && !TryShedOne()) {
+    ++shed_.backpressure_rejections;
+    ++type_shed_[record.name].rejected;
+    int64_t drain = std::max(1, config_.ingress.drain_per_tick);
+    int64_t hint = std::max<int64_t>(
+        1, static_cast<int64_t>(queue_.size()) / drain);
+    return Status::ResourceExhausted(
+        StrCat("ingress queue full (", queue_.size(), "/",
+               config_.ingress.queue_capacity, " calls); retry after ",
+               hint, " ticks"));
+  }
+
+  CEDR_ASSIGN_OR_RETURN(bool fresh, session.Admit(ingress.epoch,
+                                                  ingress.seq, now_ticks_));
+  if (!fresh) return Status::OK();  // replay duplicate, already applied
+
+  // Calls below a synthesized frontier arrive from a source that was
+  // declared silent after the supervisor spoke for it: accepting them
+  // would falsify the synthesized guarantee, so they are shed and
+  // accounted, not applied. A sync point at exactly the frontier is
+  // redundant (the frontier already guarantees it) and is shed too.
+  if (session.synthesized_frontier() != kMinTime) {
+    const Time sync_time = CallSyncTime(record);
+    if (sync_time < session.synthesized_frontier() ||
+        (record.op == io::JournalOp::kSyncPoint &&
+         sync_time <= session.synthesized_frontier())) {
+      ++session.mutable_stats()->late_after_synthesis;
+      ++shed_.shed_late;
+      return Status::OK();
+    }
+  }
+
+  if (record.op == io::JournalOp::kSyncPoint) {
+    auto it = last_offered_sync_.find(record.name);
+    if (it != last_offered_sync_.end() && record.time <= it->second) {
+      return Status::InvalidArgument(
+          StrCat("sync point ", record.time, " on '", record.name,
+                 "' does not advance past the previous sync point ",
+                 it->second));
+    }
+    last_offered_sync_[record.name] = record.time;
+  }
+  queue_.push_back(std::move(record));
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  return Status::OK();
+}
+
+Status SupervisedService::Publish(const Ingress& ingress,
+                                  const std::string& type, Event event) {
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kPublish;
+  rec.name = type;
+  rec.event = std::move(event);
+  return Offer(ingress, std::move(rec));
+}
+
+Status SupervisedService::PublishRetraction(const Ingress& ingress,
+                                            const std::string& type,
+                                            const Event& original,
+                                            Time new_end) {
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kRetract;
+  rec.name = type;
+  rec.event = original;
+  rec.new_ve = new_end;
+  return Offer(ingress, std::move(rec));
+}
+
+Status SupervisedService::PublishSyncPoint(const Ingress& ingress,
+                                           const std::string& type, Time t) {
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kSyncPoint;
+  rec.name = type;
+  rec.time = t;
+  return Offer(ingress, std::move(rec));
+}
+
+Status SupervisedService::RouteMessage(const std::string& type,
+                                       const Message& msg) {
+  for (auto& [name, governed] : queries_) {
+    if (governed.input_types.count(type) == 0) continue;
+    CEDR_RETURN_NOT_OK(governed.query->Push(type, msg));
+  }
+  return Status::OK();
+}
+
+Status SupervisedService::ApplyNow(const io::JournalRecord& record) {
+  switch (record.op) {
+    case io::JournalOp::kPublish: {
+      EventId id = record.event.id;
+      CEDR_RETURN_NOT_OK(
+          RouteMessage(record.name, InsertOf(record.event, next_cs_++)));
+      published_[record.name].insert(id);
+      break;
+    }
+    case io::JournalOp::kRetract: {
+      auto pub = published_.find(record.name);
+      if (pub == published_.end() ||
+          pub->second.count(record.event.id) == 0) {
+        return Status::NotFound(
+            StrCat("retraction references event ", record.event.id,
+                   " never routed on '", record.name,
+                   "' (its insert may have been shed)"));
+      }
+      CEDR_RETURN_NOT_OK(RouteMessage(
+          record.name, RetractOf(record.event, record.new_ve, next_cs_++)));
+      break;
+    }
+    case io::JournalOp::kSyncPoint: {
+      auto it = last_sync_.find(record.name);
+      if (it != last_sync_.end() && record.time <= it->second) {
+        // Overtaken by a synthesized sync point while queued: the
+        // guarantee it carried is already subsumed.
+        ++shed_.shed_late;
+        return Status::OK();
+      }
+      CEDR_RETURN_NOT_OK(
+          RouteMessage(record.name, CtiOf(record.time, next_cs_++)));
+      last_sync_[record.name] = record.time;
+      break;
+    }
+    default:
+      return Status::Internal("non-ingress record in the queue");
+  }
+  journal_.Append(record);
+  return Status::OK();
+}
+
+Status SupervisedService::DrainSome(int budget) {
+  for (int i = 0; i < budget && !queue_.empty(); ++i) {
+    io::JournalRecord record = std::move(queue_.front());
+    queue_.pop_front();
+    // A message can become stale while queued (its source was silenced
+    // and the supervisor synthesized past it).
+    auto session_it = sessions_.find(record.source);
+    if (session_it != sessions_.end() &&
+        session_it->second.synthesized_frontier() != kMinTime &&
+        CallSyncTime(record) < session_it->second.synthesized_frontier()) {
+      ++session_it->second.mutable_stats()->late_after_synthesis;
+      ++shed_.shed_late;
+      continue;
+    }
+    Status applied = ApplyNow(record);
+    if (applied.code() == StatusCode::kNotFound) {
+      // Reference to something shed earlier: drop the call, keep the
+      // pump running. The loss is recorded, never silent.
+      ++shed_.dropped_invalid;
+      ++type_shed_[record.name].retractions;
+      continue;
+    }
+    CEDR_RETURN_NOT_OK(applied);
+  }
+  return Status::OK();
+}
+
+Time SupervisedService::LiveFrontier() const {
+  Time frontier = kMinTime;
+  for (const auto& [type, t] : last_sync_) {
+    frontier = std::max(frontier, t);
+  }
+  return frontier;
+}
+
+Status SupervisedService::SynthesizeFor(SourceSession* session,
+                                        Time target) {
+  for (const std::string& type : session->types()) {
+    auto it = last_sync_.find(type);
+    if (it != last_sync_.end() && target <= it->second) continue;
+    CEDR_RETURN_NOT_OK(RouteMessage(type, CtiOf(target, next_cs_++)));
+    last_sync_[type] = target;
+    Time& offered = last_offered_sync_[type];
+    offered = std::max(offered, target);
+    ++shed_.synthesized_syncs;
+    ++type_shed_[type].synthesized;
+    ++session->mutable_stats()->synthesized_syncs;
+
+    io::JournalRecord rec;
+    rec.op = io::JournalOp::kSyncPoint;
+    rec.name = type;
+    rec.time = target;
+    rec.source = kSupervisorSource;
+    journal_.Append(rec);
+  }
+  return Status::OK();
+}
+
+Status SupervisedService::CheckLiveness() {
+  Time frontier = LiveFrontier();
+  for (auto& [name, session] : sessions_) {
+    const LivenessPolicy policy = session.config().on_silence;
+    if (session.DeadlineMissed(now_ticks_)) {
+      switch (policy) {
+        case LivenessPolicy::kHold:
+          // Strong semantics: wait as long as it takes. The transition
+          // is still recorded so operators can see the stall.
+          session.MarkSilent(kMinTime);
+          break;
+        case LivenessPolicy::kSynthesize:
+          session.MarkSilent(frontier);
+          if (frontier != kMinTime) {
+            CEDR_RETURN_NOT_OK(SynthesizeFor(&session, frontier));
+          }
+          break;
+        case LivenessPolicy::kQuarantine:
+          session.MarkQuarantined(frontier);
+          if (frontier != kMinTime) {
+            CEDR_RETURN_NOT_OK(SynthesizeFor(&session, frontier));
+          }
+          break;
+      }
+      continue;
+    }
+    // A source that stays down must not pin the frontier: as live
+    // sources advance, keep re-synthesizing so the silent source's
+    // guarantee tracks the live frontier.
+    if (policy != LivenessPolicy::kHold &&
+        session.state() != SourceState::kLive && frontier != kMinTime &&
+        frontier > session.synthesized_frontier()) {
+      session.RaiseFrontier(frontier);
+      CEDR_RETURN_NOT_OK(SynthesizeFor(&session, frontier));
+    }
+  }
+  return Status::OK();
+}
+
+Status SupervisedService::RunGovernor() {
+  if (!config_.governor.enabled) return Status::OK();
+  if (config_.governor.check_every_ticks > 1 &&
+      now_ticks_ % config_.governor.check_every_ticks != 0) {
+    return Status::OK();
+  }
+  for (auto& [name, g] : queries_) {
+    if (g.budget.Unlimited() || g.ladder.size() < 2) continue;
+    QueryStats stats = g.query->Stats();
+    Duration blocking_delta =
+        std::max<Time>(0, stats.total_blocking - g.last_total_blocking);
+    g.last_total_blocking = stats.total_blocking;
+    const bool over = g.budget.Violated(stats.CurFootprint(),
+                                        stats.cur_buffer_size,
+                                        blocking_delta);
+    if (over) {
+      g.calm_streak = 0;
+      if (++g.over_streak >= config_.governor.degrade_after &&
+          g.rung + 1 < g.ladder.size()) {
+        ++g.rung;
+        CEDR_RETURN_NOT_OK(g.query->SwitchTo(g.ladder[g.rung]).status());
+        g.last_total_blocking = g.query->Stats().total_blocking;
+        g.over_streak = 0;
+        g.phase = GovernorPhase::kDegraded;
+        ++g.degrades;
+      }
+    } else {
+      g.over_streak = 0;
+      if (++g.calm_streak >= config_.governor.restore_after && g.rung > 0) {
+        --g.rung;
+        CEDR_RETURN_NOT_OK(g.query->SwitchTo(g.ladder[g.rung]).status());
+        g.last_total_blocking = g.query->Stats().total_blocking;
+        g.calm_streak = 0;
+        ++g.restores;
+        g.phase = g.rung == 0 ? GovernorPhase::kSteady
+                              : GovernorPhase::kRestoring;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SupervisedService::Tick() {
+  if (finished_) return Status::ExecutionError("supervisor already finished");
+  ++now_ticks_;
+  CEDR_RETURN_NOT_OK(DrainSome(config_.ingress.drain_per_tick));
+  CEDR_RETURN_NOT_OK(CheckLiveness());
+  return RunGovernor();
+}
+
+Status SupervisedService::Finish() {
+  if (finished_) return Status::OK();
+  while (!queue_.empty()) {
+    CEDR_RETURN_NOT_OK(DrainSome(static_cast<int>(queue_.size())));
+  }
+  // Restore every degraded query to its requested level before the
+  // final convergence: the splice repairs the degraded window, so the
+  // converged ideal matches an unpressured run wherever nothing was
+  // shed.
+  for (auto& [name, g] : queries_) {
+    if (g.rung != 0) {
+      g.rung = 0;
+      CEDR_RETURN_NOT_OK(g.query->SwitchTo(g.ladder[0]).status());
+      ++g.restores;
+      g.phase = GovernorPhase::kSteady;
+    }
+  }
+  finished_ = true;
+  for (auto& [name, g] : queries_) {
+    CEDR_RETURN_NOT_OK(g.query->Finish());
+  }
+  io::JournalRecord rec;
+  rec.op = io::JournalOp::kFinish;
+  journal_.Append(rec);
+  return Status::OK();
+}
+
+std::vector<std::string> SupervisedService::QueryNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [name, g] : queries_) names.push_back(name);
+  return names;
+}
+
+Result<const SwitchableQuery*> SupervisedService::GetQuery(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  return static_cast<const SwitchableQuery*>(it->second.query.get());
+}
+
+Result<GovernorStatus> SupervisedService::GovernorOf(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  const Governed& g = it->second;
+  GovernorStatus status;
+  status.requested = g.requested;
+  status.current = g.query->current_spec();
+  status.phase = g.phase;
+  status.rung = g.rung;
+  status.degrades = g.degrades;
+  status.restores = g.restores;
+  return status;
+}
+
+Result<const SourceSession*> SupervisedService::Session(
+    const std::string& source) const {
+  auto it = sessions_.find(source);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrCat("no source named '", source, "'"));
+  }
+  return static_cast<const SourceSession*>(&it->second);
+}
+
+Result<QueryStats> SupervisedService::StatsFor(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  QueryStats stats = it->second.query->Stats();
+  for (const std::string& type : it->second.input_types) {
+    auto shed = type_shed_.find(type);
+    if (shed == type_shed_.end()) continue;
+    stats.shed_inserts += shed->second.inserts;
+    stats.shed_retractions += shed->second.retractions;
+    stats.rejected_backpressure += shed->second.rejected;
+    stats.synthesized_ctis += shed->second.synthesized;
+  }
+  return stats;
+}
+
+Result<std::unique_ptr<SupervisedService>> SupervisedService::Recover(
+    const std::string& journal_bytes, SupervisorConfig config) {
+  CEDR_ASSIGN_OR_RETURN(io::JournalContents journal,
+                        io::ReadJournal(journal_bytes));
+  if (journal.base_index != 0) {
+    return Status::DataLoss(
+        StrCat("supervisor journal starts at record ", journal.base_index,
+               "; journal-only recovery needs the full history"));
+  }
+  auto svc = std::make_unique<SupervisedService>(config);
+  uint64_t index = 0;
+  for (const io::JournalRecord& record : journal.records) {
+    Status applied = Status::OK();
+    switch (record.op) {
+      case io::JournalOp::kRegisterType:
+        applied = svc->RegisterEventType(record.name, record.schema);
+        break;
+      case io::JournalOp::kRegisterQuery: {
+        std::optional<ConsistencySpec> spec;
+        if (record.has_spec) spec = record.spec;
+        applied = svc->RegisterQuery(record.text, spec).status();
+        break;
+      }
+      case io::JournalOp::kEpoch:
+        if (record.seq == 0) {
+          applied = svc->AttachSource(record.name, SplitTypes(record.text));
+        } else {
+          auto it = svc->sessions_.find(record.name);
+          if (it == svc->sessions_.end()) {
+            applied = Status::Corruption(
+                StrCat("epoch record for unattached source '", record.name,
+                       "'"));
+          } else {
+            it->second.RestoreProgress(record.seq, it->second.next_seq());
+          }
+        }
+        break;
+      case io::JournalOp::kPublish:
+      case io::JournalOp::kRetract:
+      case io::JournalOp::kSyncPoint: {
+        // Journaled calls were accepted and routed before the crash;
+        // re-route them directly (no queue, no liveness - history, not
+        // live traffic) and advance the owning session's progress.
+        applied = svc->ApplyNow(record);
+        if (applied.ok() && record.source != kSupervisorSource &&
+            !record.source.empty()) {
+          auto it = svc->sessions_.find(record.source);
+          if (it != svc->sessions_.end()) {
+            it->second.RestoreProgress(it->second.epoch(), record.seq + 1);
+          }
+        }
+        break;
+      }
+      case io::JournalOp::kFinish:
+        applied = svc->Finish();
+        break;
+      default:
+        applied = Status::Corruption("journal record has an unknown op");
+        break;
+    }
+    if (!applied.ok()) {
+      return Status::Corruption(
+          StrCat("supervisor journal record ", index,
+                 " no longer replays: ", applied.ToString()));
+    }
+    ++index;
+  }
+  return svc;
+}
+
+}  // namespace cedr

@@ -1,0 +1,265 @@
+// SupervisedService: the live-operation robustness layer around the
+// CEDR engine. The paper's stream model assumes providers that can
+// stall, lag, or die, and its Section 5 future work asks for
+// consistency-sensitive optimization that switches levels under load.
+// The supervisor provides both:
+//
+//   * a per-source session layer (engine/session.h): sequence-checked,
+//     epoch-fenced ingress with reconnect-and-replay driven by the
+//     journal's epoch records;
+//   * liveness tracking against a logical clock: a source that misses
+//     its heartbeat deadline is declared silent and the configured
+//     policy runs (synthesize a sync point at the live frontier / hold /
+//     quarantine), so strong and middle queries stop stalling forever on
+//     one dead provider;
+//   * bounded ingress: a fixed-capacity queue drained at a fixed rate
+//     per tick. When the queue is full, a seeded shedding policy drops
+//     weak-consistency-repairable messages first (provider retractions,
+//     then inserts; never sync points); if nothing is sheddable the call
+//     is rejected with kResourceExhausted and a retry-after hint. Every
+//     shed and rejection is recorded in QueryStats;
+//   * a closed-loop governor: per-query budgets (consistency/budget.h)
+//     are checked against QueryStats every tick, and sustained violation
+//     degrades the query strong -> middle -> weak through
+//     SwitchableQuery::SwitchTo (splicing at common sync points);
+//     sustained calm restores the requested level rung by rung.
+//     Retraction-based repair covers the degraded window, so the
+//     converged output equals an unpressured run wherever no messages
+//     were shed.
+//
+// Every accepted ingress call and every epoch boundary is journaled, so
+// Recover() rebuilds the supervisor - sessions, fencing state, queries,
+// and routed history - from the journal alone.
+#ifndef CEDR_ENGINE_SUPERVISOR_H_
+#define CEDR_ENGINE_SUPERVISOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consistency/budget.h"
+#include "engine/session.h"
+#include "engine/switching.h"
+#include "io/journal.h"
+
+namespace cedr {
+
+/// The `source` tag journaled on supervisor-synthesized calls.
+inline constexpr char kSupervisorSource[] = "@supervisor";
+
+struct IngressConfig {
+  /// Maximum queued ingress calls across all sources.
+  size_t queue_capacity = 256;
+  /// Queued calls applied per Tick. Overload = offered rate above this.
+  int drain_per_tick = 32;
+  /// Seed of the shedding policy's victim selection.
+  uint64_t shed_seed = 0xCED5;
+};
+
+struct GovernorConfig {
+  bool enabled = true;
+  /// Budget check cadence in ticks.
+  int64_t check_every_ticks = 1;
+  /// Consecutive over-budget checks before stepping down one rung.
+  int degrade_after = 2;
+  /// Consecutive in-budget checks before stepping back up one rung.
+  int restore_after = 4;
+  /// Memory bound M of the weak rung at the bottom of the ladder.
+  Duration weak_memory = 0;
+  /// Budget applied to queries registered without an explicit one (and
+  /// to every query re-registered during Recover, since budgets are
+  /// configuration, not journaled history).
+  QueryBudget default_budget;
+};
+
+struct SupervisorConfig {
+  SessionConfig session;
+  IngressConfig ingress;
+  GovernorConfig governor;
+};
+
+/// Supervisor-wide ingress accounting.
+struct ShedStats {
+  uint64_t shed_inserts = 0;      // load shedding: queue was full
+  uint64_t shed_retractions = 0;  // load shedding (repairable first)
+  uint64_t shed_late = 0;         // below a synthesized sync frontier
+  uint64_t dropped_invalid = 0;   // failed at drain (e.g. retraction of
+                                  // a shed insert)
+  uint64_t backpressure_rejections = 0;
+  uint64_t synthesized_syncs = 0;
+
+  uint64_t TotalShed() const {
+    return shed_inserts + shed_retractions + shed_late + dropped_invalid;
+  }
+};
+
+enum class GovernorPhase { kSteady, kDegraded, kRestoring };
+
+const char* GovernorPhaseToString(GovernorPhase phase);
+
+struct GovernorStatus {
+  ConsistencySpec requested;
+  ConsistencySpec current;
+  GovernorPhase phase = GovernorPhase::kSteady;
+  /// Position on the degradation ladder (0 = requested level).
+  size_t rung = 0;
+  uint64_t degrades = 0;
+  uint64_t restores = 0;
+};
+
+class SupervisedService {
+ public:
+  /// Session coordinates every ingress call must carry: which source it
+  /// came from, the epoch the provider believes it is in (from
+  /// AttachSource / Reconnect), and the per-source sequence number.
+  struct Ingress {
+    std::string source;
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+  };
+
+  explicit SupervisedService(SupervisorConfig config = {});
+
+  Status RegisterEventType(const std::string& name, SchemaPtr schema);
+
+  /// Registers a governed standing query. Without an explicit budget the
+  /// governor applies `config.governor.default_budget`.
+  Result<std::string> RegisterQuery(
+      const std::string& text,
+      std::optional<ConsistencySpec> spec_override = std::nullopt,
+      std::optional<QueryBudget> budget = std::nullopt);
+
+  /// Creates a session for `source` owning `types` (each event type has
+  /// exactly one publishing source). Journaled as an epoch-0 record.
+  Status AttachSource(const std::string& source,
+                      const std::vector<std::string>& types);
+
+  /// Declares a provider reconnect: bumps the source's epoch (fencing
+  /// stale calls), revives a silent/quarantined source, and returns the
+  /// resume point for provider-side replay. Journaled.
+  Result<SourceSession::ResumePoint> Reconnect(const std::string& source);
+
+  // Ingress. Accepted calls enter the bounded queue and are applied by
+  // Tick(); kResourceExhausted (with a retry-after hint in the message)
+  // means back off - the call consumed no sequence number and may be
+  // retried verbatim.
+  Status Publish(const Ingress& ingress, const std::string& type,
+                 Event event);
+  Status PublishRetraction(const Ingress& ingress, const std::string& type,
+                           const Event& original, Time new_end);
+  Status PublishSyncPoint(const Ingress& ingress, const std::string& type,
+                          Time t);
+
+  /// Advances the logical clock one tick: drains up to
+  /// `ingress.drain_per_tick` queued calls, runs the liveness scan
+  /// (deadline misses trigger the configured policy), and runs the
+  /// governor.
+  Status Tick();
+
+  /// Drains everything still queued, restores every degraded query to
+  /// its requested level (splicing repairs the degraded window), and
+  /// finishes all queries.
+  Status Finish();
+
+  int64_t now_ticks() const { return now_ticks_; }
+  size_t queue_depth() const { return queue_.size(); }
+  /// High-water mark of the ingress queue; never exceeds the capacity.
+  size_t max_queue_depth() const { return max_queue_depth_; }
+  const ShedStats& shed() const { return shed_; }
+  const io::JournalWriter& journal() const { return journal_; }
+  const SupervisorConfig& config() const { return config_; }
+
+  std::vector<std::string> QueryNames() const;
+  Result<const SwitchableQuery*> GetQuery(const std::string& name) const;
+  Result<GovernorStatus> GovernorOf(const std::string& name) const;
+  Result<const SourceSession*> Session(const std::string& source) const;
+
+  /// The query's plan statistics merged with the supervisor's ingress
+  /// accounting for its input types (sheds, rejections, synthesized
+  /// sync points) - the complete cost/fidelity picture for one query.
+  Result<QueryStats> StatsFor(const std::string& name) const;
+
+  /// Rebuilds a supervisor from its journal: re-registers catalog and
+  /// queries, replays epoch records into session fencing state, and
+  /// re-routes every journaled ingress call. Budgets and policies come
+  /// from `config` (configuration is not history). The logical clock
+  /// restarts at zero with every surviving source considered live.
+  static Result<std::unique_ptr<SupervisedService>> Recover(
+      const std::string& journal_bytes, SupervisorConfig config = {});
+
+ private:
+  struct Governed {
+    std::unique_ptr<SwitchableQuery> query;
+    std::set<std::string> input_types;
+    ConsistencySpec requested;
+    QueryBudget budget;
+    /// Degradation ladder, strongest first; ladder[0] == requested.
+    std::vector<ConsistencySpec> ladder;
+    size_t rung = 0;
+    int over_streak = 0;
+    int calm_streak = 0;
+    GovernorPhase phase = GovernorPhase::kSteady;
+    uint64_t degrades = 0;
+    uint64_t restores = 0;
+    Time last_total_blocking = 0;
+  };
+
+  /// Per-event-type ingress accounting (for StatsFor attribution).
+  struct TypeShed {
+    uint64_t inserts = 0;
+    uint64_t retractions = 0;
+    uint64_t rejected = 0;
+    uint64_t synthesized = 0;
+  };
+
+  /// Shared admission path: static validation, backpressure/shedding,
+  /// session admission, then enqueue.
+  Status Offer(const Ingress& ingress, io::JournalRecord record);
+  /// Static validation of one call (schema, lifetime, sync advance).
+  Status Validate(const io::JournalRecord& record) const;
+  /// Applies one accepted call: frontier shedding, reference checks,
+  /// cs stamping, routing, journaling.
+  Status ApplyNow(const io::JournalRecord& record);
+  Status RouteMessage(const std::string& type, const Message& msg);
+  /// Sheds one queued message (retractions first, then inserts; seeded
+  /// choice among candidates). False when nothing is sheddable.
+  bool TryShedOne();
+  Status DrainSome(int budget);
+  Status CheckLiveness();
+  /// Synthesizes sync points at `target` for every type the source
+  /// owns, journaled under kSupervisorSource.
+  Status SynthesizeFor(SourceSession* session, Time target);
+  Status RunGovernor();
+  /// max over all types of the last drained sync point (kMinTime when
+  /// no sync point has been seen anywhere).
+  Time LiveFrontier() const;
+  static std::vector<ConsistencySpec> LadderFor(const ConsistencySpec& spec,
+                                                const GovernorConfig& gov);
+
+  SupervisorConfig config_;
+  Catalog catalog_;
+  std::map<std::string, SourceSession> sessions_;
+  std::map<std::string, std::string> type_owner_;  // type -> source
+  std::map<std::string, Governed> queries_;
+  std::deque<io::JournalRecord> queue_;
+  io::JournalWriter journal_;
+  Rng shed_rng_;
+  std::map<std::string, std::set<EventId>> published_;
+  std::map<std::string, Time> last_sync_;          // drained
+  std::map<std::string, Time> last_offered_sync_;  // admission-level
+  std::map<std::string, TypeShed> type_shed_;
+  ShedStats shed_;
+  size_t max_queue_depth_ = 0;
+  Time next_cs_ = 1;
+  int64_t now_ticks_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_SUPERVISOR_H_

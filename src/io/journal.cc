@@ -20,11 +20,13 @@ void WriteJournalRecord(BinaryWriter* w, const JournalRecord& record) {
   WriteEvent(w, record.event);
   w->PutTime(record.new_ve);
   w->PutTime(record.time);
+  w->PutString(record.source);
+  w->PutU64(record.seq);
 }
 
 Result<JournalRecord> ReadJournalRecord(BinaryReader* r) {
   CEDR_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
-  if (op > static_cast<uint8_t>(JournalOp::kFinish)) {
+  if (op > static_cast<uint8_t>(JournalOp::kEpoch)) {
     return Status::Corruption("journal: invalid record op");
   }
   JournalRecord record;
@@ -37,6 +39,8 @@ Result<JournalRecord> ReadJournalRecord(BinaryReader* r) {
   CEDR_ASSIGN_OR_RETURN(record.event, ReadEvent(r));
   CEDR_ASSIGN_OR_RETURN(record.new_ve, r->GetTime());
   CEDR_ASSIGN_OR_RETURN(record.time, r->GetTime());
+  CEDR_ASSIGN_OR_RETURN(record.source, r->GetString());
+  CEDR_ASSIGN_OR_RETURN(record.seq, r->GetU64());
   return record;
 }
 
@@ -81,14 +85,20 @@ Result<JournalContents> ReadJournal(const std::string& bytes) {
 
   size_t pos = kHeaderSize;
   while (pos < bytes.size()) {
+    // A partial final record is the footprint of a crash mid-append.
+    // The call it framed was never acknowledged, so the intact prefix
+    // is the complete accepted history: stop cleanly instead of
+    // erroring (the classic WAL torn-tail discipline).
     if (bytes.size() - pos < 4) {
-      return Status::DataLoss("journal: torn record length");
+      contents.torn_tail = true;
+      break;
     }
     BinaryReader len_reader(bytes.data() + pos, 4);
     CEDR_ASSIGN_OR_RETURN(uint32_t len, len_reader.GetU32());
     pos += 4;
     if (bytes.size() - pos < static_cast<size_t>(len) + 4) {
-      return Status::DataLoss("journal: torn record payload");
+      contents.torn_tail = true;
+      break;
     }
     std::string payload(bytes.data() + pos, len);
     pos += len;

@@ -8,10 +8,13 @@
 //                           payload bytes (one serialized JournalRecord)
 //                           u32 CRC-32 of the payload
 //
-// A torn tail (partial record) is kDataLoss; a record whose checksum
-// fails is kCorruption. Records are appended only after the service has
-// accepted the corresponding call, so every journaled record replays
-// cleanly against the restored snapshot.
+// A torn tail (a partial final record, the footprint of a crash
+// mid-append) is treated as a clean end-of-journal: the intact prefix
+// is returned and `torn_tail` is set, because the torn record was by
+// definition never acknowledged. A record whose checksum fails is
+// kCorruption. Records are appended only after the service has accepted
+// the corresponding call, so every journaled record replays cleanly
+// against the restored snapshot.
 #ifndef CEDR_IO_JOURNAL_H_
 #define CEDR_IO_JOURNAL_H_
 
@@ -24,7 +27,9 @@ namespace cedr {
 namespace io {
 
 inline constexpr char kJournalMagic[] = "CEDRWAL1";  // 8 chars + NUL
-inline constexpr uint32_t kJournalVersion = 1;
+// Version 2 adds the per-source session fields (source, seq) and the
+// kEpoch record.
+inline constexpr uint32_t kJournalVersion = 2;
 
 enum class JournalOp : uint8_t {
   kRegisterType = 0,
@@ -34,6 +39,12 @@ enum class JournalOp : uint8_t {
   kRetract,
   kSyncPoint,
   kFinish,
+  /// A source-session epoch boundary: source attach (epoch 0, with its
+  /// owned event types) or reconnect (epoch bump). Replaying epoch
+  /// records restores session fencing state, so a recovered supervisor
+  /// rejects stale providers and resumes sequence checking where the
+  /// original left off.
+  kEpoch,
 };
 
 /// One logged ingress call. Which fields are meaningful depends on op:
@@ -44,6 +55,13 @@ enum class JournalOp : uint8_t {
 ///   kRetract:         name (event type), event (id + original ve), new_ve
 ///   kSyncPoint:       name (event type), time
 ///   kFinish:          (none)
+///   kEpoch:           name (source), seq (epoch number), text
+///                     (space-joined owned event types; attach only)
+///
+/// `source` and `seq` additionally tag every supervised ingress call
+/// with the session that produced it and its per-source sequence
+/// number; both are empty/zero for unsupervised (plain DurableService)
+/// ingress and for supervisor-synthesized calls.
 struct JournalRecord {
   JournalOp op = JournalOp::kPublish;
   std::string name;
@@ -54,6 +72,8 @@ struct JournalRecord {
   Event event;
   Time new_ve = 0;
   Time time = 0;
+  std::string source;
+  uint64_t seq = 0;
 };
 
 /// Append-only writer over an in-memory byte string. The caller owns the
@@ -85,11 +105,15 @@ class JournalWriter {
 struct JournalContents {
   uint64_t base_index = 0;
   std::vector<JournalRecord> records;
+  /// True when the bytes ended in a partial record (crash mid-append).
+  /// The torn suffix was never acknowledged, so the intact prefix is
+  /// the complete history; callers may log the tear but must not fail.
+  bool torn_tail = false;
 };
 
-/// Parses journal bytes. Truncated header or torn record tail is
-/// kDataLoss; bad magic/version or a failed record checksum is
-/// kCorruption.
+/// Parses journal bytes. A truncated header is kDataLoss; bad
+/// magic/version or a failed record checksum is kCorruption; a torn
+/// final record is a clean end-of-journal (see JournalContents).
 Result<JournalContents> ReadJournal(const std::string& bytes);
 
 void WriteJournalRecord(BinaryWriter* w, const JournalRecord& record);

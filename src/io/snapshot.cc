@@ -1,5 +1,6 @@
 #include "io/snapshot.h"
 
+#include <cstdio>
 #include <cstring>
 
 namespace cedr {
@@ -48,6 +49,48 @@ Result<std::string> OpenSnapshot(const std::string& bytes) {
     return Status::Corruption("snapshot: checksum mismatch");
   }
   return payload;
+}
+
+Status SaveSnapshotFile(const std::string& path, const std::string& sealed) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::ExecutionError("snapshot: cannot open " + tmp);
+  }
+  const size_t written =
+      sealed.empty() ? 0 : std::fwrite(sealed.data(), 1, sealed.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || written != sealed.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::ExecutionError("snapshot: short write to " + tmp);
+  }
+  // The commit point. Before the rename the previous snapshot at `path`
+  // is untouched; after it the new one is fully in place.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::ExecutionError("snapshot: cannot rename " + tmp +
+                                  " into place");
+  }
+  return Status::OK();
+}
+
+Result<std::string> LoadSnapshotFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::DataLoss("snapshot: no file at " + path);
+  }
+  std::string bytes;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::ExecutionError("snapshot: read error on " + path);
+  }
+  return bytes;
 }
 
 }  // namespace io

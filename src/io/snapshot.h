@@ -30,6 +30,19 @@ std::string SealSnapshot(const std::string& payload);
 /// kCorruption.
 Result<std::string> OpenSnapshot(const std::string& bytes);
 
+/// Crash-atomically persists sealed snapshot bytes to `path`: the bytes
+/// are written to `path + ".tmp"`, flushed, and renamed into place.
+/// rename(2) replaces the destination atomically, so a crash at any
+/// point leaves either the previous snapshot or the new one - never a
+/// half-written file as the latest snapshot. A stale `.tmp` from an
+/// earlier crash is simply overwritten.
+Status SaveSnapshotFile(const std::string& path, const std::string& sealed);
+
+/// Reads snapshot bytes written by SaveSnapshotFile. A missing file is
+/// kDataLoss (crash before the first save, or the artifact was lost);
+/// the bytes are returned as-is for OpenSnapshot to validate.
+Result<std::string> LoadSnapshotFile(const std::string& path);
+
 }  // namespace io
 }  // namespace cedr
 

@@ -172,6 +172,8 @@ OperatorStats Operator::stats() const {
   OperatorStats out = stats_;
   out.alignment = monitor_.CombinedBufferStats();
   out.max_state_size = std::max(out.max_state_size, StateSize());
+  out.cur_state_size = StateSize();
+  out.cur_buffered = monitor_.BufferedCount();
   return out;
 }
 

@@ -28,6 +28,12 @@ struct OperatorStats {
   /// was already forgotten (weak consistency).
   uint64_t lost_corrections = 0;
   size_t max_state_size = 0;
+  /// Current occupancy at the moment stats() was taken (not high-water
+  /// marks): events held in operator state and messages blocked in the
+  /// alignment buffers. The supervisor's governor keys off these, since
+  /// high-water marks never recede once pressure clears.
+  size_t cur_state_size = 0;
+  size_t cur_buffered = 0;
   AlignmentStats alignment;
 
   /// Output size in the Figure 8 sense: state updates emitted.

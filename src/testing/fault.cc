@@ -1,6 +1,7 @@
 #include "testing/fault.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "common/format.h"
 
@@ -103,6 +104,9 @@ Status ApplyFeedCall(DurableService* service,
       return service->PublishSyncPoint(call.name, call.time);
     case io::JournalOp::kFinish:
       return service->Finish();
+    case io::JournalOp::kEpoch:
+      // No session layer on the plain durable service: nothing to do.
+      return Status::OK();
   }
   return Status::InvalidArgument("feed call has an unknown op");
 }
@@ -194,6 +198,193 @@ bool PhysicallyIdentical(const RunOutputs& a, const RunOutputs& b) {
     if (!PhysicallyIdentical(stream, it->second)) return false;
   }
   return true;
+}
+
+std::vector<SupervisedCall> PaceFeed(
+    const std::string& source, const std::vector<io::JournalRecord>& feed,
+    int64_t start_tick, int calls_per_tick) {
+  if (calls_per_tick < 1) calls_per_tick = 1;
+  std::vector<SupervisedCall> paced;
+  paced.reserve(feed.size());
+  for (size_t i = 0; i < feed.size(); ++i) {
+    SupervisedCall call;
+    call.source = source;
+    call.at_tick = start_tick + static_cast<int64_t>(i) / calls_per_tick;
+    call.call = feed[i];
+    paced.push_back(std::move(call));
+  }
+  return paced;
+}
+
+std::vector<SupervisedCall> MergeSupervisedFeeds(
+    std::vector<std::vector<SupervisedCall>> feeds) {
+  struct Tagged {
+    SupervisedCall call;
+    size_t feed;
+    size_t pos;
+  };
+  std::vector<Tagged> all;
+  for (size_t f = 0; f < feeds.size(); ++f) {
+    for (size_t i = 0; i < feeds[f].size(); ++i) {
+      all.push_back(Tagged{std::move(feeds[f][i]), f, i});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.call.at_tick != b.call.at_tick) {
+                       return a.call.at_tick < b.call.at_tick;
+                     }
+                     if (a.feed != b.feed) return a.feed < b.feed;
+                     return a.pos < b.pos;
+                   });
+  std::vector<SupervisedCall> merged;
+  merged.reserve(all.size());
+  for (Tagged& t : all) merged.push_back(std::move(t.call));
+  return merged;
+}
+
+namespace {
+
+/// Provider-side connection state: the sequence counter, the epoch the
+/// provider believes it is in, the full send history (for replay), and
+/// calls awaiting retry after a backpressure rejection.
+struct Provider {
+  uint64_t epoch = 0;
+  uint64_t next_seq = 0;
+  std::vector<io::JournalRecord> history;  // indexed by assigned seq
+  std::deque<std::pair<uint64_t, io::JournalRecord>> pending;
+};
+
+Status OfferTo(SupervisedService* svc, const std::string& source,
+               const Provider& p, uint64_t seq,
+               const io::JournalRecord& call) {
+  SupervisedService::Ingress ingress{source, p.epoch, seq};
+  switch (call.op) {
+    case io::JournalOp::kPublish:
+      return svc->Publish(ingress, call.name, call.event);
+    case io::JournalOp::kRetract:
+      return svc->PublishRetraction(ingress, call.name, call.event,
+                                    call.new_ve);
+    case io::JournalOp::kSyncPoint:
+      return svc->PublishSyncPoint(ingress, call.name, call.time);
+    default:
+      return Status::InvalidArgument(
+          "supervised feed calls must be publish/retract/sync");
+  }
+}
+
+}  // namespace
+
+Result<SupervisedRun> RunSupervised(const SupervisedScenario& scenario,
+                                    SupervisorConfig config) {
+  SupervisedService svc(config);
+  for (const auto& [name, schema] : scenario.catalog) {
+    CEDR_RETURN_NOT_OK(svc.RegisterEventType(name, schema));
+  }
+  for (const SupervisedQuery& q : scenario.queries) {
+    CEDR_RETURN_NOT_OK(svc.RegisterQuery(q.text, q.spec, q.budget).status());
+  }
+  std::map<std::string, Provider> providers;
+  for (const auto& [source, types] : scenario.sources) {
+    CEDR_RETURN_NOT_OK(svc.AttachSource(source, types));
+    providers.emplace(source, Provider());
+  }
+
+  SupervisedRun run;
+  int64_t last_tick = scenario.feed.empty() ? 0 : scenario.feed.back().at_tick;
+  // Generous bound: the feed, a full drain, and the trailing window.
+  const int64_t tick_limit =
+      last_tick + static_cast<int64_t>(scenario.feed.size()) +
+      scenario.trailing_ticks + 10000;
+
+  size_t next = 0;
+  int64_t tick = 0;
+  auto have_pending = [&providers] {
+    for (const auto& [name, p] : providers) {
+      if (!p.pending.empty()) return true;
+    }
+    return false;
+  };
+  while (next < scenario.feed.size() || have_pending() ||
+         svc.queue_depth() > 0) {
+    if (tick > tick_limit) {
+      return Status::Internal(
+          StrCat("supervised run made no progress by tick ", tick));
+    }
+    // Retries first: a pending call is older than anything offered this
+    // tick, and later calls of its source are queued behind it.
+    for (auto& [source, p] : providers) {
+      while (!p.pending.empty()) {
+        auto& [seq, call] = p.pending.front();
+        Status offered = OfferTo(&svc, source, p, seq, call);
+        if (offered.code() == StatusCode::kResourceExhausted) break;
+        CEDR_RETURN_NOT_OK(offered);
+        ++run.backpressure_retries;
+        p.pending.pop_front();
+      }
+    }
+    // This tick's feed actions.
+    while (next < scenario.feed.size() &&
+           scenario.feed[next].at_tick <= tick) {
+      const SupervisedCall& action = scenario.feed[next];
+      auto it = providers.find(action.source);
+      if (it == providers.end()) {
+        return Status::InvalidArgument(
+            StrCat("feed references unattached source '", action.source,
+                   "'"));
+      }
+      Provider& p = it->second;
+      if (action.action == SupervisedCall::Action::kReconnect) {
+        CEDR_ASSIGN_OR_RETURN(SourceSession::ResumePoint resume,
+                              svc.Reconnect(action.source));
+        p.epoch = resume.epoch;
+        // Replay everything the supervisor has not acknowledged. The
+        // session layer drops any overlap as duplicates.
+        p.pending.clear();
+        for (uint64_t seq = resume.next_seq; seq < p.history.size(); ++seq) {
+          p.pending.emplace_back(seq, p.history[seq]);
+        }
+      } else {
+        uint64_t seq = p.next_seq++;
+        p.history.push_back(action.call);
+        if (!p.pending.empty()) {
+          // Keep per-source order: queue behind the stalled call.
+          p.pending.emplace_back(seq, action.call);
+        } else {
+          Status offered = OfferTo(&svc, action.source, p, seq, action.call);
+          if (offered.code() == StatusCode::kResourceExhausted) {
+            p.pending.emplace_back(seq, action.call);
+          } else {
+            CEDR_RETURN_NOT_OK(offered);
+          }
+        }
+      }
+      ++next;
+    }
+    CEDR_RETURN_NOT_OK(svc.Tick());
+    ++tick;
+  }
+  for (int64_t t = 0; t < scenario.trailing_ticks; ++t) {
+    CEDR_RETURN_NOT_OK(svc.Tick());
+  }
+  CEDR_RETURN_NOT_OK(svc.Finish());
+
+  for (const std::string& name : svc.QueryNames()) {
+    CEDR_ASSIGN_OR_RETURN(const SwitchableQuery* query, svc.GetQuery(name));
+    run.outputs[name] = query->OutputMessages();
+    run.ideals[name] = query->Ideal();
+    CEDR_ASSIGN_OR_RETURN(run.stats[name], svc.StatsFor(name));
+    CEDR_ASSIGN_OR_RETURN(run.governors[name], svc.GovernorOf(name));
+  }
+  for (const auto& [source, p] : providers) {
+    CEDR_ASSIGN_OR_RETURN(const SourceSession* session, svc.Session(source));
+    run.sessions[source] = session->stats();
+  }
+  run.shed = svc.shed();
+  run.journal_bytes = svc.journal().bytes();
+  run.ticks = svc.now_ticks();
+  run.max_queue_depth = svc.max_queue_depth();
+  return run;
 }
 
 }  // namespace testing

@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "engine/durable.h"
+#include "engine/supervisor.h"
 
 namespace cedr {
 namespace testing {
@@ -86,6 +87,78 @@ Result<RunOutputs> RunWithCrash(const ServiceScenario& scenario,
 bool PhysicallyIdentical(const std::vector<Message>& a,
                          const std::vector<Message>& b);
 bool PhysicallyIdentical(const RunOutputs& a, const RunOutputs& b);
+
+// ---------------------------------------------------------------------
+// Supervised harness: drives a SupervisedService the way a fleet of real
+// providers would - per-source sequence numbering, backpressure retries,
+// and reconnect-with-replay - all paced over the supervisor's logical
+// clock so liveness deadlines and the governor actually fire.
+
+/// One provider-side action in a supervised run.
+struct SupervisedCall {
+  enum class Action {
+    kOffer,      ///< publish `call` (kPublish / kRetract / kSyncPoint)
+    kReconnect,  ///< drop the connection, Reconnect(), replay history
+  };
+  Action action = Action::kOffer;
+  std::string source;
+  /// Logical tick at which the provider issues the action. The feed must
+  /// be sorted by tick (MergeSupervisedFeeds keeps it that way).
+  int64_t at_tick = 0;
+  io::JournalRecord call;  ///< unused for kReconnect
+};
+
+/// A query registered under the supervisor, with an optional budget.
+struct SupervisedQuery {
+  std::string text;
+  std::optional<ConsistencySpec> spec;
+  std::optional<QueryBudget> budget;
+};
+
+struct SupervisedScenario {
+  std::map<std::string, SchemaPtr> catalog;
+  std::vector<SupervisedQuery> queries;
+  /// source -> event types it owns.
+  std::map<std::string, std::vector<std::string>> sources;
+  std::vector<SupervisedCall> feed;
+  /// Ticks to keep running after the feed and the ingress queue drain
+  /// (lets liveness deadlines fire and the governor settle/restore).
+  int64_t trailing_ticks = 8;
+};
+
+/// Paces a flat feed (testing::FeedOf / MergeFeeds output) for one
+/// source: `calls_per_tick` calls per tick starting at `start_tick`.
+std::vector<SupervisedCall> PaceFeed(
+    const std::string& source, const std::vector<io::JournalRecord>& feed,
+    int64_t start_tick = 0, int calls_per_tick = 8);
+
+/// Interleaves supervised feeds by tick, stable within ties.
+std::vector<SupervisedCall> MergeSupervisedFeeds(
+    std::vector<std::vector<SupervisedCall>> feeds);
+
+/// Everything observable from one supervised run.
+struct SupervisedRun {
+  RunOutputs outputs;  ///< spliced physical output streams per query
+  std::map<std::string, EventList> ideals;  ///< converged logical output
+  std::map<std::string, QueryStats> stats;  ///< StatsFor (incl. sheds)
+  std::map<std::string, GovernorStatus> governors;
+  std::map<std::string, SessionStats> sessions;
+  ShedStats shed;
+  std::string journal_bytes;
+  int64_t ticks = 0;
+  size_t max_queue_depth = 0;
+  /// Calls re-offered after a kResourceExhausted rejection.
+  uint64_t backpressure_retries = 0;
+};
+
+/// Runs the scenario start to finish. Providers assign their own
+/// sequence numbers; a call rejected with kResourceExhausted is retried
+/// on a later tick with the same sequence number (later calls of that
+/// source queue behind it, preserving per-source order); kReconnect
+/// replays the provider's history from the returned resume point, which
+/// the session layer must absorb idempotently.
+Result<SupervisedRun> RunSupervised(const SupervisedScenario& scenario,
+                                    SupervisorConfig config = {});
 
 }  // namespace testing
 }  // namespace cedr

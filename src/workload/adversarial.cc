@@ -1,0 +1,137 @@
+#include "workload/adversarial.h"
+
+#include <algorithm>
+
+namespace cedr {
+namespace workload {
+
+namespace {
+
+using testing::FeedOf;
+using testing::MergeFeeds;
+using testing::MergeSupervisedFeeds;
+using testing::PaceFeed;
+using testing::SupervisedCall;
+using testing::SupervisedScenario;
+
+SupervisedScenario BaseScenario() {
+  SupervisedScenario scenario;
+  scenario.catalog = MachineCatalog();
+  scenario.queries.push_back(
+      {Cidr07ExampleQuery(), ConsistencySpec::Strong(), std::nullopt});
+  return scenario;
+}
+
+std::vector<io::JournalRecord> WholeFeed(const MachineStreams& streams,
+                                         const DisorderConfig& disorder) {
+  return MergeFeeds(
+      {FeedOf("INSTALL", ApplyDisorder(streams.installs, disorder)),
+       FeedOf("SHUTDOWN", ApplyDisorder(streams.shutdowns, disorder)),
+       FeedOf("RESTART", ApplyDisorder(streams.restarts, disorder))});
+}
+
+std::vector<io::JournalRecord> MachineOnlyFeed(
+    const MachineStreams& streams, const DisorderConfig& disorder) {
+  return MergeFeeds(
+      {FeedOf("INSTALL", ApplyDisorder(streams.installs, disorder)),
+       FeedOf("SHUTDOWN", ApplyDisorder(streams.shutdowns, disorder))});
+}
+
+}  // namespace
+
+SupervisedScenario BurstOverloadScenario(const AdversarialConfig& config) {
+  SupervisedScenario scenario = BaseScenario();
+  scenario.sources["machine-events"] = {"INSTALL", "SHUTDOWN", "RESTART"};
+  MachineStreams streams = GenerateMachineEvents(config.machines);
+  std::vector<io::JournalRecord> feed = WholeFeed(streams, config.disorder);
+
+  const size_t burst_lo =
+      static_cast<size_t>(config.burst_begin * feed.size());
+  const size_t burst_hi = static_cast<size_t>(config.burst_end * feed.size());
+  int64_t tick = 0;
+  int in_tick = 0;
+  for (size_t i = 0; i < feed.size(); ++i) {
+    const int rate = (i >= burst_lo && i < burst_hi)
+                         ? std::max(1, config.burst_rate)
+                         : std::max(1, config.steady_rate);
+    if (in_tick >= rate) {
+      ++tick;
+      in_tick = 0;
+    }
+    SupervisedCall call;
+    call.source = "machine-events";
+    call.at_tick = tick;
+    call.call = std::move(feed[i]);
+    scenario.feed.push_back(std::move(call));
+    ++in_tick;
+  }
+  return scenario;
+}
+
+SupervisedScenario SilentSourceScenario(const AdversarialConfig& config) {
+  SupervisedScenario scenario = BaseScenario();
+  scenario.sources["machine-events"] = {"INSTALL", "SHUTDOWN"};
+  scenario.sources["restart-feed"] = {"RESTART"};
+  MachineStreams streams = GenerateMachineEvents(config.machines);
+
+  std::vector<io::JournalRecord> machine_feed =
+      MachineOnlyFeed(streams, config.disorder);
+  std::vector<io::JournalRecord> restart_feed =
+      FeedOf("RESTART", ApplyDisorder(streams.restarts, config.disorder));
+  // The restart provider dies mid-run: everything after the cut is
+  // simply never offered.
+  restart_feed.resize(
+      static_cast<size_t>(config.silence_after * restart_feed.size()));
+
+  scenario.feed = MergeSupervisedFeeds(
+      {PaceFeed("machine-events", machine_feed, 0, config.steady_rate),
+       PaceFeed("restart-feed", restart_feed, 0, config.steady_rate)});
+  return scenario;
+}
+
+SupervisedScenario LaggingSourceScenario(const AdversarialConfig& config) {
+  SupervisedScenario scenario = BaseScenario();
+  scenario.sources["machine-events"] = {"INSTALL", "SHUTDOWN"};
+  scenario.sources["restart-feed"] = {"RESTART"};
+  MachineStreams streams = GenerateMachineEvents(config.machines);
+
+  std::vector<io::JournalRecord> machine_feed =
+      MachineOnlyFeed(streams, config.disorder);
+  std::vector<io::JournalRecord> restart_feed =
+      FeedOf("RESTART", ApplyDisorder(streams.restarts, config.disorder));
+
+  scenario.feed = MergeSupervisedFeeds(
+      {PaceFeed("machine-events", machine_feed, 0, config.steady_rate),
+       PaceFeed("restart-feed", restart_feed, 0,
+                std::max(1, config.lag_rate))});
+  return scenario;
+}
+
+SupervisedScenario FlappingReconnectScenario(
+    const AdversarialConfig& config) {
+  SupervisedScenario scenario = BaseScenario();
+  scenario.sources["machine-events"] = {"INSTALL", "SHUTDOWN", "RESTART"};
+  MachineStreams streams = GenerateMachineEvents(config.machines);
+  std::vector<SupervisedCall> paced =
+      PaceFeed("machine-events", WholeFeed(streams, config.disorder), 0,
+               config.steady_rate);
+
+  const int every = std::max(1, config.reconnect_every_calls);
+  int since_reconnect = 0;
+  for (SupervisedCall& call : paced) {
+    if (since_reconnect >= every) {
+      SupervisedCall reconnect;
+      reconnect.action = SupervisedCall::Action::kReconnect;
+      reconnect.source = "machine-events";
+      reconnect.at_tick = call.at_tick;
+      scenario.feed.push_back(std::move(reconnect));
+      since_reconnect = 0;
+    }
+    scenario.feed.push_back(std::move(call));
+    ++since_reconnect;
+  }
+  return scenario;
+}
+
+}  // namespace workload
+}  // namespace cedr

@@ -1,0 +1,74 @@
+// Adversarial supervised workloads: feeds engineered to trip each of
+// the supervisor's defenses, built on the Section 3.1 machine-monitoring
+// generator.
+//
+//   * burst overload  - offered rate far above the drain rate for a
+//                       window, then calm: exercises bounded ingress,
+//                       shedding/backpressure, and governor
+//                       degrade-then-restore;
+//   * silent source   - one provider dies mid-run while the others keep
+//                       publishing: exercises liveness detection and
+//                       sync-point synthesis (strong queries must
+//                       unblock);
+//   * lagging source  - one provider runs far slower than the rest:
+//                       exercises repeated silence/revival and frontier
+//                       top-up;
+//   * flapping reconnect - a provider reconnects on a fixed cadence and
+//                       replays its history every time: exercises epoch
+//                       fencing and idempotent replay (output must be
+//                       physically identical to a flap-free run).
+#ifndef CEDR_WORKLOAD_ADVERSARIAL_H_
+#define CEDR_WORKLOAD_ADVERSARIAL_H_
+
+#include "testing/fault.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace workload {
+
+struct AdversarialConfig {
+  MachineConfig machines;
+  /// Disorder/CTI shaping of every stream. The default emits a sync
+  /// point every 20 time units with mild disorder, so strong queries
+  /// make progress (and liveness synthesis has a live frontier to
+  /// synthesize at).
+  DisorderConfig disorder = {0.2, 8, 20, 99};
+  /// Calls offered per tick in calm phases.
+  int steady_rate = 8;
+  /// Calls offered per tick inside the burst window.
+  int burst_rate = 96;
+  /// Burst window as fractions of the merged feed, [start, end).
+  double burst_begin = 0.3;
+  double burst_end = 0.6;
+  /// Fraction of the victim source's feed delivered before it dies.
+  double silence_after = 0.5;
+  /// Calls per tick of the lagging source (the rest run at steady_rate).
+  int lag_rate = 1;
+  /// The flapping source reconnects each time this many of its calls
+  /// have been offered.
+  int reconnect_every_calls = 64;
+};
+
+/// One source owning all three event types, calm-burst-calm pacing.
+testing::SupervisedScenario BurstOverloadScenario(
+    const AdversarialConfig& config);
+
+/// Two sources; "restart-feed" (owning RESTART) dies after delivering
+/// `silence_after` of its feed, while "machine-events" keeps going.
+testing::SupervisedScenario SilentSourceScenario(
+    const AdversarialConfig& config);
+
+/// Two sources; "restart-feed" stays alive but runs at `lag_rate`.
+testing::SupervisedScenario LaggingSourceScenario(
+    const AdversarialConfig& config);
+
+/// One source that reconnects every `reconnect_every_calls` calls and
+/// replays from the resume point.
+testing::SupervisedScenario FlappingReconnectScenario(
+    const AdversarialConfig& config);
+
+}  // namespace workload
+}  // namespace cedr
+
+#endif  // CEDR_WORKLOAD_ADVERSARIAL_H_

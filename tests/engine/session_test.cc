@@ -1,0 +1,151 @@
+// Per-source session layer: sequence checking, epoch fencing, liveness.
+#include "engine/session.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+SourceSession MakeSession(int64_t heartbeat = 16) {
+  SessionConfig config;
+  config.heartbeat_timeout = heartbeat;
+  return SourceSession("sensor", config, {"TEMP"});
+}
+
+TEST(SessionTest, AcceptsInOrderSequence) {
+  SourceSession s = MakeSession();
+  for (uint64_t seq = 0; seq < 5; ++seq) {
+    auto fresh = s.Admit(/*epoch=*/0, seq, /*now_tick=*/1);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_TRUE(fresh.ValueOrDie());
+  }
+  EXPECT_EQ(s.stats().accepted, 5u);
+  EXPECT_EQ(s.next_seq(), 5u);
+  EXPECT_EQ(s.stats().duplicates, 0u);
+  EXPECT_EQ(s.stats().gaps, 0u);
+}
+
+TEST(SessionTest, ReplayedSequenceIsDuplicateNotError) {
+  SourceSession s = MakeSession();
+  ASSERT_TRUE(s.Admit(0, 0, 1).ok());
+  ASSERT_TRUE(s.Admit(0, 1, 1).ok());
+  auto replay = s.Admit(0, 0, 2);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay.ValueOrDie()) << "replay must be dropped, not applied";
+  EXPECT_EQ(s.stats().duplicates, 1u);
+  EXPECT_EQ(s.next_seq(), 2u);
+}
+
+TEST(SessionTest, SkippedSequenceCountsAGapAndResyncs) {
+  SourceSession s = MakeSession();
+  ASSERT_TRUE(s.Admit(0, 0, 1).ok());
+  auto jumped = s.Admit(0, 7, 1);
+  ASSERT_TRUE(jumped.ok());
+  EXPECT_TRUE(jumped.ValueOrDie());
+  EXPECT_EQ(s.stats().gaps, 1u);
+  EXPECT_EQ(s.next_seq(), 8u) << "session resyncs to the provider";
+}
+
+TEST(SessionTest, StaleEpochIsFenced) {
+  SourceSession s = MakeSession();
+  ASSERT_TRUE(s.Admit(0, 0, 1).ok());
+  SourceSession::ResumePoint resume = s.Reconnect(2);
+  EXPECT_EQ(resume.epoch, 1u);
+  EXPECT_EQ(resume.next_seq, 1u);
+  // A zombie still publishing under epoch 0 is rejected.
+  auto stale = s.Admit(0, 5, 3);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kExecutionError);
+  EXPECT_EQ(s.stats().stale_epoch_rejects, 1u);
+  // The reconnected provider under epoch 1 proceeds.
+  EXPECT_TRUE(s.Admit(1, 1, 3).ok());
+}
+
+TEST(SessionTest, UnknownFutureEpochIsRejected) {
+  SourceSession s = MakeSession();
+  auto future = s.Admit(3, 0, 1);
+  EXPECT_FALSE(future.ok());
+  EXPECT_EQ(s.stats().stale_epoch_rejects, 1u);
+}
+
+TEST(SessionTest, ReplayAfterReconnectIsIdempotent) {
+  SourceSession s = MakeSession();
+  for (uint64_t seq = 0; seq < 4; ++seq) {
+    ASSERT_TRUE(s.Admit(0, seq, 1).ok());
+  }
+  SourceSession::ResumePoint resume = s.Reconnect(2);
+  EXPECT_EQ(resume.next_seq, 4u);
+  // Provider replays a conservative overlap: 2..5 under the new epoch.
+  int applied = 0;
+  for (uint64_t seq = 2; seq < 6; ++seq) {
+    auto fresh = s.Admit(resume.epoch, seq, 3);
+    ASSERT_TRUE(fresh.ok());
+    if (fresh.ValueOrDie()) ++applied;
+  }
+  EXPECT_EQ(applied, 2) << "only 4 and 5 are new";
+  EXPECT_EQ(s.stats().duplicates, 2u);
+}
+
+TEST(SessionTest, DeadlineMissDeclaresSilence) {
+  SourceSession s = MakeSession(/*heartbeat=*/4);
+  ASSERT_TRUE(s.Admit(0, 0, 10).ok());
+  EXPECT_FALSE(s.DeadlineMissed(14));
+  EXPECT_TRUE(s.DeadlineMissed(15));
+  s.MarkSilent(/*synthesized_frontier=*/100);
+  EXPECT_EQ(s.state(), SourceState::kSilent);
+  EXPECT_EQ(s.synthesized_frontier(), 100);
+  EXPECT_EQ(s.stats().silences, 1u);
+  // Already-silent sources are not re-flagged.
+  EXPECT_FALSE(s.DeadlineMissed(99));
+}
+
+TEST(SessionTest, AcceptedCallRevivesSilentSource) {
+  SourceSession s = MakeSession(4);
+  ASSERT_TRUE(s.Admit(0, 0, 1).ok());
+  s.MarkSilent(50);
+  ASSERT_TRUE(s.Admit(0, 1, 20).ok());
+  EXPECT_EQ(s.state(), SourceState::kLive);
+  // The synthesized frontier survives revival: anything below it was
+  // already guaranteed away.
+  EXPECT_EQ(s.synthesized_frontier(), 50);
+}
+
+TEST(SessionTest, QuarantineRejectsUntilReconnect) {
+  SourceSession s = MakeSession(4);
+  ASSERT_TRUE(s.Admit(0, 0, 1).ok());
+  s.MarkQuarantined(60);
+  auto rejected = s.Admit(0, 1, 20);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(s.stats().quarantine_rejects, 1u);
+  SourceSession::ResumePoint resume = s.Reconnect(21);
+  EXPECT_EQ(s.state(), SourceState::kLive);
+  EXPECT_TRUE(s.Admit(resume.epoch, resume.next_seq, 22).ok());
+}
+
+TEST(SessionTest, FrontierOnlyRises) {
+  SourceSession s = MakeSession();
+  s.MarkSilent(40);
+  s.RaiseFrontier(30);
+  EXPECT_EQ(s.synthesized_frontier(), 40);
+  s.RaiseFrontier(70);
+  EXPECT_EQ(s.synthesized_frontier(), 70);
+}
+
+TEST(SessionTest, HeartbeatDisabledNeverSilences) {
+  SourceSession s = MakeSession(/*heartbeat=*/0);
+  ASSERT_TRUE(s.Admit(0, 0, 1).ok());
+  EXPECT_FALSE(s.DeadlineMissed(1000000));
+}
+
+TEST(SessionTest, RestoreProgressNeverRewindsSequence) {
+  SourceSession s = MakeSession();
+  for (uint64_t seq = 0; seq < 6; ++seq) {
+    ASSERT_TRUE(s.Admit(0, seq, 1).ok());
+  }
+  s.RestoreProgress(/*epoch=*/2, /*next_seq=*/3);
+  EXPECT_EQ(s.epoch(), 2u);
+  EXPECT_EQ(s.next_seq(), 6u) << "journal replay must not rewind progress";
+}
+
+}  // namespace
+}  // namespace cedr

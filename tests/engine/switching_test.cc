@@ -117,6 +117,74 @@ TEST(SwitchingTest, SwitchToSameSpecIsNoOp) {
   EXPECT_EQ(query->switches(), 0);
 }
 
+TEST(SwitchingTest, SwitchToSameSpecMidStreamIsNoOp) {
+  // The no-op must hold with state in flight too: same-spec SwitchTo
+  // after arbitrary input leaves the output untouched.
+  Feed feed = MakeFeed(21, /*disordered=*/true);
+  EventList expected = PureRun(feed, ConsistencySpec::Middle());
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Middle())
+                   .ValueOrDie();
+  size_t half = feed.merged.size() / 2;
+  for (size_t i = 0; i < feed.merged.size(); ++i) {
+    if (i == half) {
+      ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Middle()).ok());
+      EXPECT_EQ(query->switches(), 0);
+    }
+    ASSERT_TRUE(query->Push(feed.merged[i].first, feed.merged[i].second)
+                    .ok());
+  }
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_EQ(query->switches(), 0);
+  EXPECT_TRUE(denotation::StarEqual(query->Ideal(), expected));
+}
+
+TEST(SwitchingTest, SwitchBeforeAnyMessage) {
+  // Switching a query that has consumed nothing replays an empty input:
+  // the run must behave exactly as if created at the final level.
+  Feed feed = MakeFeed(17, /*disordered=*/true);
+  EventList expected = PureRun(feed, ConsistencySpec::Strong());
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Middle())
+                   .ValueOrDie();
+  ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Strong()).ok());
+  EXPECT_EQ(query->switches(), 1);
+  for (const auto& [type, msg] : feed.merged) {
+    ASSERT_TRUE(query->Push(type, msg).ok());
+  }
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_TRUE(denotation::StarEqual(query->Ideal(), expected));
+}
+
+TEST(SwitchingTest, TwoSwitchesBetweenConsecutiveSyncPoints) {
+  // Both switches land inside one sync interval (no barrier advance in
+  // between), so the second replays the same retained input as the
+  // first; the splice must still dedup to a convergent stream.
+  Feed feed = MakeFeed(19, /*disordered=*/true);
+  EventList expected = PureRun(feed, ConsistencySpec::Middle());
+  auto query = SwitchableQuery::Create(QueryText(),
+                                       workload::MachineCatalog(),
+                                       ConsistencySpec::Middle())
+                   .ValueOrDie();
+  size_t half = feed.merged.size() / 2;
+  bool switched = false;
+  for (size_t i = 0; i < feed.merged.size(); ++i) {
+    const auto& [type, msg] = feed.merged[i];
+    if (i >= half && !switched && msg.kind != MessageKind::kCti) {
+      // Down and straight back up, with no sync point in between.
+      ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Weak(30)).ok());
+      ASSERT_TRUE(query->SwitchTo(ConsistencySpec::Middle()).ok());
+      switched = true;
+    }
+    ASSERT_TRUE(query->Push(type, msg).ok());
+  }
+  ASSERT_TRUE(query->Finish().ok());
+  EXPECT_EQ(query->switches(), 2);
+  EXPECT_TRUE(denotation::StarEqual(query->Ideal(), expected));
+}
+
 TEST(SwitchingTest, SplicedStreamIsWellFormed) {
   // Retractions emitted after the switch must reference inserts emitted
   // before it (determinism of generated ids makes this hold).

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "io/journal.h"
 #include "io/snapshot.h"
 
@@ -302,14 +304,64 @@ TEST(JournalTest, EmptyJournalRoundtrip) {
   EXPECT_TRUE(contents.records.empty());
 }
 
-TEST(JournalTest, TornTailIsDataLoss) {
+TEST(JournalTest, TornTailIsCleanEndOfJournal) {
+  // A crash mid-append leaves a partial final record. That is the
+  // expected shape of a write-ahead log after power loss, not damage:
+  // the intact prefix is the journal.
   JournalWriter writer;
   writer.Append(PublishRecord(1));
   writer.Append(PublishRecord(2));
   std::string bytes = writer.bytes();
   // Cut into the middle of the last record.
   bytes.resize(bytes.size() - 5);
-  EXPECT_EQ(ReadJournal(bytes).status().code(), StatusCode::kDataLoss);
+  JournalContents contents = ReadJournal(bytes).ValueOrDie();
+  ASSERT_EQ(contents.records.size(), 1u);
+  EXPECT_EQ(contents.records[0].event.id, 1u);
+  EXPECT_TRUE(contents.torn_tail);
+}
+
+TEST(JournalTest, TornLengthPrefixIsCleanEndOfJournal) {
+  JournalWriter single;
+  single.Append(PublishRecord(1));
+  JournalWriter writer;
+  writer.Append(PublishRecord(1));
+  writer.Append(PublishRecord(2));
+  // Leave only part of the second record's length prefix.
+  std::string bytes = writer.bytes();
+  bytes.resize(single.bytes().size() + 2);
+  JournalContents contents = ReadJournal(bytes).ValueOrDie();
+  ASSERT_EQ(contents.records.size(), 1u);
+  EXPECT_TRUE(contents.torn_tail);
+}
+
+TEST(JournalTest, IntactJournalReportsNoTornTail) {
+  JournalWriter writer;
+  writer.Append(PublishRecord(1));
+  JournalContents contents = ReadJournal(writer.bytes()).ValueOrDie();
+  EXPECT_FALSE(contents.torn_tail);
+}
+
+TEST(JournalTest, SessionFieldsRoundtrip) {
+  JournalWriter writer;
+  io::JournalRecord rec = PublishRecord(4);
+  rec.source = "sensor-7";
+  rec.seq = 41;
+  writer.Append(rec);
+
+  io::JournalRecord epoch;
+  epoch.op = JournalOp::kEpoch;
+  epoch.name = "sensor-7";
+  epoch.seq = 2;
+  epoch.text = "TRADE QUOTE";
+  writer.Append(epoch);
+
+  JournalContents contents = ReadJournal(writer.bytes()).ValueOrDie();
+  ASSERT_EQ(contents.records.size(), 2u);
+  EXPECT_EQ(contents.records[0].source, "sensor-7");
+  EXPECT_EQ(contents.records[0].seq, 41u);
+  EXPECT_EQ(contents.records[1].op, JournalOp::kEpoch);
+  EXPECT_EQ(contents.records[1].seq, 2u);
+  EXPECT_EQ(contents.records[1].text, "TRADE QUOTE");
 }
 
 TEST(JournalTest, TruncatedHeaderIsDataLoss) {
@@ -333,6 +385,46 @@ TEST(JournalTest, BadMagicIsCorruption) {
   std::string bytes = writer.bytes();
   bytes[3] = 'x';
   EXPECT_EQ(ReadJournal(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotFileTest, SaveLoadRoundtrip) {
+  const std::string path = ::testing::TempDir() + "cedr_snapshot_rt.bin";
+  std::string sealed = SealSnapshot("the state");
+  ASSERT_TRUE(SaveSnapshotFile(path, sealed).ok());
+  std::string loaded = LoadSnapshotFile(path).ValueOrDie();
+  EXPECT_EQ(loaded, sealed);
+  EXPECT_EQ(OpenSnapshot(loaded).ValueOrDie(), "the state");
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, OverwriteIsAtomicReplacement) {
+  // A new snapshot lands via temp-file + rename: after a successful
+  // Save the old content is fully replaced, and no ".tmp" residue is
+  // left behind to be mistaken for state.
+  const std::string path = ::testing::TempDir() + "cedr_snapshot_ow.bin";
+  ASSERT_TRUE(SaveSnapshotFile(path, SealSnapshot("old")).ok());
+  ASSERT_TRUE(SaveSnapshotFile(path, SealSnapshot("new")).ok());
+  EXPECT_EQ(OpenSnapshot(LoadSnapshotFile(path).ValueOrDie()).ValueOrDie(),
+            "new");
+  EXPECT_EQ(LoadSnapshotFile(path + ".tmp").status().code(),
+            StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileIsDataLoss) {
+  EXPECT_EQ(LoadSnapshotFile(::testing::TempDir() + "cedr_no_such_snap.bin")
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(SnapshotFileTest, UnwritablePathFailsWithoutClobbering) {
+  // Saving into a directory that does not exist fails cleanly; nothing
+  // is created at the destination.
+  const std::string path =
+      ::testing::TempDir() + "cedr_missing_dir/snap.bin";
+  EXPECT_FALSE(SaveSnapshotFile(path, SealSnapshot("x")).ok());
+  EXPECT_FALSE(LoadSnapshotFile(path).ok());
 }
 
 }  // namespace
