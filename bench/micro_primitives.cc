@@ -3,11 +3,14 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "engine/query.h"
+#include "engine/source.h"
 #include "ops/alignment_buffer.h"
 #include "stream/canonical.h"
 #include "stream/coalesce.h"
 #include "stream/equivalence.h"
 #include "stream/sync.h"
+#include "workload/machines.h"
 
 namespace cedr {
 namespace {
@@ -121,6 +124,133 @@ void BM_AlignmentBuffer(benchmark::State& state) {
                           static_cast<int64_t>(input.size()));
 }
 BENCHMARK(BM_AlignmentBuffer)->Arg(0)->Arg(10)->Arg(40)->ArgName("B");
+
+// --- Row primitives (join hot path) ---------------------------------
+
+std::vector<Row> RandomRows(int n, uint64_t seed) {
+  Rng rng(seed);
+  SchemaPtr schema = Schema::Make({{"key", ValueType::kInt64},
+                                   {"name", ValueType::kString},
+                                   {"value", ValueType::kDouble}});
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    rows.emplace_back(
+        schema,
+        std::vector<Value>{Value(rng.NextInt(0, 1000)),
+                           Value(std::string("sym") +
+                                 std::to_string(rng.NextInt(0, 50))),
+                           Value(static_cast<double>(rng.NextInt(0, 1
+                                                                 << 20)))});
+  }
+  return rows;
+}
+
+void BM_RowHashCold(benchmark::State& state) {
+  // Fresh rows every round: measures the actual hash computation (the
+  // memo cache never helps).
+  std::vector<Row> rows = RandomRows(static_cast<int>(state.range(0)), 31);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Row> fresh;
+    fresh.reserve(rows.size());
+    for (const Row& r : rows) {
+      fresh.emplace_back(r.schema(), std::vector<Value>(r.values().begin(),
+                                                        r.values().end()));
+    }
+    state.ResumeTiming();
+    size_t acc = 0;
+    for (const Row& r : fresh) acc ^= r.Hash();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_RowHashCold)->Arg(1024);
+
+void BM_RowHashMemoized(benchmark::State& state) {
+  // Re-hashing the same rows: the memoized fast path a join hits every
+  // time an event is probed or re-bucketed.
+  std::vector<Row> rows = RandomRows(static_cast<int>(state.range(0)), 31);
+  for (const Row& r : rows) benchmark::DoNotOptimize(r.Hash());  // warm
+  for (auto _ : state) {
+    size_t acc = 0;
+    for (const Row& r : rows) acc ^= r.Hash();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_RowHashMemoized)->Arg(1024);
+
+void BM_RowEquality(benchmark::State& state) {
+  std::vector<Row> rows = RandomRows(static_cast<int>(state.range(0)), 31);
+  std::vector<Row> copies = rows;
+  for (auto _ : state) {
+    int equal = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      equal += rows[i] == copies[i] ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(equal);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_RowEquality)->Arg(1024);
+
+// --- Batch vs single Push through a compiled query ------------------
+
+std::vector<std::pair<std::string, Message>> QueryFeed(int sessions) {
+  workload::MachineConfig config;
+  config.num_machines = 8;
+  config.num_sessions = sessions;
+  config.max_session_length = 60;
+  config.restart_scope = 12;
+  config.session_interval = 4;
+  config.seed = 9;
+  workload::MachineStreams streams =
+      workload::GenerateMachineEvents(config);
+  return MergeByArrival({{"INSTALL", streams.installs},
+                         {"SHUTDOWN", streams.shutdowns},
+                         {"RESTART", streams.restarts}});
+}
+
+std::unique_ptr<CompiledQuery> FeedQuery() {
+  return CompiledQuery::Compile(workload::Cidr07ExampleQuery(),
+                                workload::MachineCatalog(),
+                                ConsistencySpec::Middle())
+      .ValueOrDie();
+}
+
+void BM_QueryPushSingle(benchmark::State& state) {
+  auto feed = QueryFeed(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto query = FeedQuery();
+    state.ResumeTiming();
+    for (const auto& [type, msg] : feed) {
+      Status st = query->Push(type, msg);
+      benchmark::DoNotOptimize(st.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(feed.size()));
+}
+BENCHMARK(BM_QueryPushSingle)->Arg(400);
+
+void BM_QueryPushBatch(benchmark::State& state) {
+  auto feed = QueryFeed(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto query = FeedQuery();
+    state.ResumeTiming();
+    Status st = query->PushBatch(feed);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(feed.size()));
+}
+BENCHMARK(BM_QueryPushBatch)->Arg(400);
 
 }  // namespace
 }  // namespace cedr

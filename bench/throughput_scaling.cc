@@ -1,0 +1,361 @@
+// Throughput scaling harness: serial executor vs ParallelExecutor at
+// 1/2/4/8 workers over a multi-query workload, plus supervised
+// tick-drain latency (p50/p99) with serial vs parallel routing under
+// the adversarial burst generator. Emits machine-readable JSON
+// (BENCH_throughput.json) to seed the perf trajectory.
+//
+//   throughput_scaling [--preset=small|full] [--out=BENCH_throughput.json]
+//
+// Parallelism is across queries (each query single-threaded, identical
+// arrival-ordered input), so per-query output is bit-identical to the
+// serial run at every worker count; the harness verifies that on every
+// configuration before accepting its timing.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/format.h"
+#include "engine/executor.h"
+#include "engine/parallel.h"
+#include "engine/supervisor.h"
+#include "testing/fault.h"
+#include "workload/adversarial.h"
+#include "workload/disorder.h"
+#include "workload/machines.h"
+
+namespace cedr {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Preset {
+  const char* name;
+  int num_sessions;     // machine workload size (3 msgs/session or so)
+  int repeats;          // timing repeats (best-of)
+  int sup_sessions;     // supervised phase workload size
+};
+
+constexpr Preset kSmall{"small", 800, 2, 300};
+constexpr Preset kFull{"full", 6000, 3, 1500};
+
+std::vector<LabeledStream> BuildWorkload(const Preset& preset,
+                                         uint64_t seed) {
+  workload::MachineConfig config;
+  config.num_machines = 12;
+  config.num_sessions = preset.num_sessions;
+  config.max_session_length = 60;
+  config.restart_scope = 12;
+  config.session_interval = 4;
+  config.seed = seed;
+  workload::MachineStreams streams =
+      workload::GenerateMachineEvents(config);
+  DisorderConfig disorder;
+  disorder.disorder_fraction = 0.25;
+  disorder.max_delay = 12;
+  disorder.cti_period = 20;
+  disorder.seed = seed * 17 + 3;
+  return {{"INSTALL", ApplyDisorder(streams.installs, disorder)},
+          {"SHUTDOWN", ApplyDisorder(streams.shutdowns, disorder)},
+          {"RESTART", ApplyDisorder(streams.restarts, disorder)}};
+}
+
+/// Eight independent queries sharing the ingress stream: the Section
+/// 3.1 pattern at four consistency levels and a plain sequence at
+/// four. Scopes are in ticks, sized to the generator's session
+/// interval, so per-event matching cost stays bounded and the bench
+/// measures engine overhead rather than pattern-state explosion.
+std::vector<std::unique_ptr<CompiledQuery>> BuildSuite() {
+  std::vector<std::unique_ptr<CompiledQuery>> queries;
+  const auto catalog = workload::MachineCatalog();
+  const std::string cidr07 =
+      "EVENT CIDR07_Example\n"
+      "WHEN UNLESS(SEQUENCE(INSTALL AS x, SHUTDOWN AS y, 80),\n"
+      "            RESTART AS z, 12)\n"
+      "WHERE {x.Machine_Id = y.Machine_Id} AND\n"
+      "      {x.Machine_Id = z.Machine_Id}";
+  for (ConsistencySpec spec :
+       {ConsistencySpec::Strong(), ConsistencySpec::Middle(),
+        ConsistencySpec::Weak(60), ConsistencySpec::Custom(0, 240)}) {
+    queries.push_back(
+        CompiledQuery::Compile(cidr07, catalog, spec).ValueOrDie());
+  }
+  for (ConsistencySpec spec :
+       {ConsistencySpec::Strong(), ConsistencySpec::Middle(),
+        ConsistencySpec::Weak(60), ConsistencySpec::Custom(0, 240)}) {
+    queries.push_back(
+        CompiledQuery::Compile(
+            "EVENT Pairs WHEN SEQUENCE(INSTALL, SHUTDOWN, 60)", catalog,
+            spec)
+            .ValueOrDie());
+  }
+  return queries;
+}
+
+struct ExecTiming {
+  int workers = 0;  // 0 = serial executor
+  double seconds = 0;
+  double events_per_sec = 0;
+  double speedup_vs_serial = 1.0;
+};
+
+struct SupTiming {
+  int route_workers = 1;
+  double seconds = 0;
+  double events_per_sec = 0;
+  double tick_p50_ms = 0;
+  double tick_p99_ms = 0;
+};
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+/// Runs the suite once and returns (seconds, per-query messages).
+template <typename RunFn>
+double TimeRun(const Preset& preset, const RunFn& run) {
+  double best = 1e300;
+  for (int r = 0; r < preset.repeats; ++r) {
+    best = std::min(best, run());
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  Preset preset = kFull;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--preset=small") preset = kSmall;
+    else if (arg == "--preset=full") preset = kFull;
+    else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else {
+      std::cerr << "unknown arg: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const auto streams = BuildWorkload(preset, /*seed=*/3);
+  const auto merged = MergeByArrival(streams);
+  const size_t num_events = merged.size();
+  const size_t num_queries = BuildSuite().size();
+  std::cout << "workload: " << num_events << " events x " << num_queries
+            << " queries (preset " << preset.name << ", "
+            << std::thread::hardware_concurrency() << " cpus)\n";
+
+  // Reference output for bit-identity verification.
+  auto reference = BuildSuite();
+  {
+    Executor exec;
+    for (auto& q : reference) exec.Register(q.get());
+    Status st = exec.Run(streams);
+    if (!st.ok()) {
+      std::cerr << "reference run failed: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  auto verify = [&](const std::vector<std::unique_ptr<CompiledQuery>>& suite,
+                    const std::string& label) {
+    for (size_t i = 0; i < suite.size(); ++i) {
+      if (!testing::PhysicallyIdentical(reference[i]->sink().messages(),
+                                        suite[i]->sink().messages())) {
+        std::cerr << label << ": query " << i
+                  << " diverged from the serial reference\n";
+        std::exit(1);
+      }
+    }
+  };
+
+  std::vector<ExecTiming> timings;
+
+  // Serial executor baseline.
+  {
+    ExecTiming t;
+    t.workers = 0;
+    t.seconds = TimeRun(preset, [&] {
+      auto suite = BuildSuite();
+      Executor exec;
+      for (auto& q : suite) exec.Register(q.get());
+      auto start = Clock::now();
+      Status st = exec.Run(streams);
+      double secs = SecondsSince(start);
+      if (!st.ok()) std::exit(1);
+      verify(suite, "serial");
+      return secs;
+    });
+    t.events_per_sec = static_cast<double>(num_events) / t.seconds;
+    timings.push_back(t);
+    std::cout << "serial: " << t.seconds << " s, " << t.events_per_sec
+              << " events/s\n";
+  }
+  const double serial_seconds = timings[0].seconds;
+
+  for (int workers : {1, 2, 4, 8}) {
+    ExecTiming t;
+    t.workers = workers;
+    t.seconds = TimeRun(preset, [&] {
+      auto suite = BuildSuite();
+      ParallelExecutor exec(ParallelConfig{workers, 1024});
+      for (auto& q : suite) exec.Register(q.get());
+      auto start = Clock::now();
+      Status st = exec.Run(streams);
+      double secs = SecondsSince(start);
+      if (!st.ok()) std::exit(1);
+      verify(suite, StrCat("parallel x", workers));
+      return secs;
+    });
+    t.events_per_sec = static_cast<double>(num_events) / t.seconds;
+    t.speedup_vs_serial = serial_seconds / t.seconds;
+    timings.push_back(t);
+    std::cout << "parallel x" << workers << ": " << t.seconds << " s, "
+              << t.events_per_sec << " events/s ("
+              << t.speedup_vs_serial << "x)\n";
+  }
+
+  // Supervised tick-drain latency under the adversarial burst
+  // generator: serial vs parallel routing.
+  workload::AdversarialConfig adv;
+  adv.machines.num_machines = 8;
+  adv.machines.num_sessions = preset.sup_sessions;
+  adv.machines.max_session_length = 40;
+  adv.machines.restart_scope = 10;
+  adv.machines.session_interval = 6;
+  adv.machines.seed = 11;
+  testing::SupervisedScenario scenario =
+      workload::BurstOverloadScenario(adv);
+
+  std::vector<SupTiming> sup_timings;
+  std::string baseline_journal;
+  for (int route_workers : {1, 4}) {
+    SupervisorConfig config;
+    config.ingress.queue_capacity = 1 << 17;
+    config.ingress.drain_per_tick = 256;
+    config.session.heartbeat_timeout = 0;
+    config.routing.route_workers = route_workers;
+
+    SupTiming t;
+    t.route_workers = route_workers;
+    auto start = Clock::now();
+    auto run = testing::RunSupervised(scenario, config);
+    t.seconds = SecondsSince(start);
+    if (!run.ok()) {
+      std::cerr << "supervised run failed: " << run.status().ToString()
+                << "\n";
+      return 1;
+    }
+    if (route_workers == 1) {
+      baseline_journal = run.ValueOrDie().journal_bytes;
+    } else if (run.ValueOrDie().journal_bytes != baseline_journal) {
+      std::cerr << "supervised parallel routing diverged from serial\n";
+      return 1;
+    }
+    // Tick latency: re-drive the journaled ingress through a fresh
+    // supervisor, timing each Tick.
+    {
+      SupervisedService svc(config);
+      for (const auto& [type, schema] : scenario.catalog) {
+        (void)svc.RegisterEventType(type, schema);
+      }
+      for (const auto& q : scenario.queries) {
+        (void)svc.RegisterQuery(q.text, q.spec, q.budget);
+      }
+      for (const auto& [source, types] : scenario.sources) {
+        (void)svc.AttachSource(source, types);
+      }
+      std::map<std::string, uint64_t> seqs;
+      std::vector<double> tick_ms;
+      size_t offered = 0;
+      auto tick = [&] {
+        auto t0 = Clock::now();
+        Status st = svc.Tick();
+        tick_ms.push_back(SecondsSince(t0) * 1e3);
+        if (!st.ok()) std::exit(1);
+      };
+      for (const testing::SupervisedCall& call : scenario.feed) {
+        if (call.action != testing::SupervisedCall::Action::kOffer) {
+          continue;
+        }
+        SupervisedService::Ingress ingress{call.source, 0,
+                                           seqs[call.source]++};
+        Status st = Status::OK();
+        switch (call.call.op) {
+          case io::JournalOp::kPublish:
+            st = svc.Publish(ingress, call.call.name, call.call.event);
+            break;
+          case io::JournalOp::kRetract:
+            st = svc.PublishRetraction(ingress, call.call.name,
+                                       call.call.event, call.call.new_ve);
+            break;
+          case io::JournalOp::kSyncPoint:
+            st = svc.PublishSyncPoint(ingress, call.call.name,
+                                      call.call.time);
+            break;
+          default:
+            break;
+        }
+        (void)st;  // backpressure is fine here; drop and keep pacing
+        if (++offered % 128 == 0) tick();
+      }
+      while (svc.queue_depth() > 0) tick();
+      (void)svc.Finish();
+      t.tick_p50_ms = Percentile(tick_ms, 0.50);
+      t.tick_p99_ms = Percentile(tick_ms, 0.99);
+      t.events_per_sec =
+          static_cast<double>(offered) /
+          (std::accumulate(tick_ms.begin(), tick_ms.end(), 0.0) / 1e3);
+    }
+    sup_timings.push_back(t);
+    std::cout << "supervised route_workers=" << route_workers << ": p50 "
+              << t.tick_p50_ms << " ms, p99 " << t.tick_p99_ms << " ms\n";
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"throughput_scaling\",\n"
+      << "  \"preset\": \"" << preset.name << "\",\n"
+      << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"events\": " << num_events << ",\n"
+      << "  \"queries\": " << num_queries << ",\n"
+      << "  \"executor\": [\n";
+  for (size_t i = 0; i < timings.size(); ++i) {
+    const ExecTiming& t = timings[i];
+    out << "    {\"mode\": \""
+        << (t.workers == 0 ? "serial" : "parallel")
+        << "\", \"workers\": " << t.workers << ", \"seconds\": "
+        << t.seconds << ", \"events_per_sec\": " << t.events_per_sec
+        << ", \"speedup_vs_serial\": " << t.speedup_vs_serial << "}"
+        << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"supervised\": [\n";
+  for (size_t i = 0; i < sup_timings.size(); ++i) {
+    const SupTiming& t = sup_timings[i];
+    out << "    {\"route_workers\": " << t.route_workers
+        << ", \"events_per_sec\": " << t.events_per_sec
+        << ", \"tick_p50_ms\": " << t.tick_p50_ms
+        << ", \"tick_p99_ms\": " << t.tick_p99_ms << "}"
+        << (i + 1 < sup_timings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"bit_identical\": true\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace cedr
+
+int main(int argc, char** argv) { return cedr::Main(argc, argv); }

@@ -14,15 +14,26 @@ Result<Value> Row::Get(const std::string& name) const {
 }
 
 Row Row::Concat(const Row& right, SchemaPtr schema) const {
-  std::vector<Value> values = values_;
+  std::vector<Value> values;
+  values.reserve(values_.size() + right.values_.size());
+  values.insert(values.end(), values_.begin(), values_.end());
   values.insert(values.end(), right.values_.begin(), right.values_.end());
   return Row(std::move(schema), std::move(values));
 }
 
-size_t Row::Hash() const {
+size_t Row::ComputeHash() const {
   size_t seed = 0xC0DE;
   for (const Value& v : values_) HashCombine(&seed, v.Hash());
+  if (seed == 0) seed = 1;  // 0 is the "not yet computed" sentinel
   return seed;
+}
+
+size_t Row::Hash() const {
+  size_t cached = hash_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  size_t computed = ComputeHash();
+  hash_cache_.store(computed, std::memory_order_relaxed);
+  return computed;
 }
 
 std::string Row::ToString() const {

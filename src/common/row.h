@@ -2,6 +2,7 @@
 #ifndef CEDR_COMMON_ROW_H_
 #define CEDR_COMMON_ROW_H_
 
+#include <atomic>
 #include <initializer_list>
 #include <vector>
 
@@ -14,6 +15,33 @@ class Row {
   Row() = default;
   Row(SchemaPtr schema, std::vector<Value> values)
       : schema_(std::move(schema)), values_(std::move(values)) {}
+
+  // Values are immutable after construction, so the memoized hash can be
+  // carried across copies and moves. The cache is a relaxed atomic: rows
+  // shared read-only across worker threads may race to fill it, but both
+  // writers store the same value.
+  Row(const Row& other)
+      : schema_(other.schema_),
+        values_(other.values_),
+        hash_cache_(other.hash_cache_.load(std::memory_order_relaxed)) {}
+  Row(Row&& other) noexcept
+      : schema_(std::move(other.schema_)),
+        values_(std::move(other.values_)),
+        hash_cache_(other.hash_cache_.load(std::memory_order_relaxed)) {}
+  Row& operator=(const Row& other) {
+    schema_ = other.schema_;
+    values_ = other.values_;
+    hash_cache_.store(other.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+  Row& operator=(Row&& other) noexcept {
+    schema_ = std::move(other.schema_);
+    values_ = std::move(other.values_);
+    hash_cache_.store(other.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
 
   const SchemaPtr& schema() const { return schema_; }
   size_t size() const { return values_.size(); }
@@ -34,12 +62,17 @@ class Row {
   /// Join output: this row's values followed by `right`'s, under `schema`.
   Row Concat(const Row& right, SchemaPtr schema) const;
 
+  /// Memoized on first call (values never change after construction).
   size_t Hash() const;
   std::string ToString() const;
 
  private:
+  size_t ComputeHash() const;
+
   SchemaPtr schema_;
   std::vector<Value> values_;
+  /// 0 = not yet computed (computed hashes are nudged away from 0).
+  mutable std::atomic<size_t> hash_cache_{0};
 };
 
 }  // namespace cedr

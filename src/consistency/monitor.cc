@@ -12,17 +12,19 @@ ConsistencyMonitor::ConsistencyMonitor(ConsistencySpec spec, int num_ports)
   }
 }
 
-std::vector<Message> ConsistencyMonitor::Offer(int port, const Message& msg,
-                                               Time now_cs) {
-  std::vector<Message> released;
-  buffers_[port]->Offer(msg, now_cs, &released);
-  return released;
+void ConsistencyMonitor::Offer(int port, const Message& msg, Time now_cs,
+                               std::vector<Message>* released) {
+  buffers_[port]->Offer(msg, now_cs, released);
 }
 
-std::vector<Message> ConsistencyMonitor::Drain(int port, Time now_cs) {
-  std::vector<Message> released;
-  buffers_[port]->Drain(now_cs, &released);
-  return released;
+bool ConsistencyMonitor::OfferDirect(int port, const Message& msg,
+                                     Time now_cs) {
+  return buffers_[port]->OfferDirect(msg, now_cs);
+}
+
+void ConsistencyMonitor::Drain(int port, Time now_cs,
+                               std::vector<Message>* released) {
+  buffers_[port]->Drain(now_cs, released);
 }
 
 void ConsistencyMonitor::NoteDispatch(int port, const Message& msg) {

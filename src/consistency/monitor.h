@@ -21,13 +21,22 @@ class ConsistencyMonitor {
   const ConsistencySpec& spec() const { return spec_; }
   int num_ports() const { return static_cast<int>(buffers_.size()); }
 
-  /// Pushes a message through the port's alignment buffer; returns the
+  /// Pushes a message through the port's alignment buffer; appends the
   /// messages released to the operational module (possibly none, possibly
-  /// several), in sync order.
-  std::vector<Message> Offer(int port, const Message& msg, Time now_cs);
+  /// several) to `released`, in sync order. The caller owns `released`
+  /// (typically a reusable scratch buffer — no per-message allocation).
+  void Offer(int port, const Message& msg, Time now_cs,
+             std::vector<Message>* released);
 
-  /// Releases everything still blocked (end of stream).
-  std::vector<Message> Drain(int port, Time now_cs);
+  /// Fast path: true when `msg` passes the port's alignment buffer
+  /// directly (nothing buffered ahead of it, nothing retained); the
+  /// caller dispatches `msg` itself without copying it. False with no
+  /// state change when the full Offer path is needed.
+  bool OfferDirect(int port, const Message& msg, Time now_cs);
+
+  /// Releases everything still blocked (end of stream); appends to
+  /// `released`.
+  void Drain(int port, Time now_cs, std::vector<Message>* released);
 
   /// Records a released message as it is handed to the operational
   /// module. Must be called per message, in dispatch order, so that the

@@ -4,15 +4,23 @@ namespace cedr {
 
 Status Executor::Run(const std::vector<LabeledStream>& streams) {
   auto merged = MergeByArrival(streams);
-  for (const auto& [type, msg] : merged) {
-    CEDR_RETURN_NOT_OK(Push(type, msg));
-  }
+  CEDR_RETURN_NOT_OK(PushBatch(merged));
   return Finish();
 }
 
 Status Executor::Push(const std::string& event_type, const Message& msg) {
   for (CompiledQuery* query : queries_) {
     CEDR_RETURN_NOT_OK(query->Push(event_type, msg));
+  }
+  return Status::OK();
+}
+
+Status Executor::PushBatch(std::span<const TypedMessage> batch) {
+  // Query-major: each query consumes the whole batch before the next.
+  // Queries are independent, so this is output-equivalent to the
+  // message-major order and amortizes per-query lookups.
+  for (CompiledQuery* query : queries_) {
+    CEDR_RETURN_NOT_OK(query->PushBatch(batch));
   }
   return Status::OK();
 }

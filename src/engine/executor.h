@@ -20,6 +20,8 @@ class Executor {
 
   /// Push a single message (incremental use).
   Status Push(const std::string& event_type, const Message& msg);
+  /// Push a batch of messages in order into every registered query.
+  Status PushBatch(std::span<const TypedMessage> batch);
   Status Finish();
 
  private:

@@ -1,0 +1,60 @@
+#include "engine/parallel.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+ParallelExecutor::ParallelExecutor(ParallelConfig config)
+    : config_(config),
+      pool_(std::make_unique<WorkerPool>(config.workers)) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+void ParallelExecutor::Register(CompiledQuery* query) {
+  queries_.push_back(query);
+}
+
+Status ParallelExecutor::Run(const std::vector<LabeledStream>& streams) {
+  const auto merged = MergeByArrival(streams);
+  std::span<const TypedMessage> rest(merged);
+  while (!rest.empty()) {
+    const size_t n = std::min(config_.batch_size, rest.size());
+    CEDR_RETURN_NOT_OK(PushBatch(rest.first(n)));
+    rest = rest.subspan(n);
+  }
+  return Finish();
+}
+
+Status ParallelExecutor::PushBatch(std::span<const TypedMessage> batch) {
+  if (batch.empty() || queries_.empty()) return Status::OK();
+  statuses_.assign(queries_.size(), Status::OK());
+  pool_->ParallelFor(queries_.size(), [&](size_t i) {
+    statuses_[i] = queries_[i]->PushBatch(batch);
+  });
+  for (const Status& st : statuses_) {
+    CEDR_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+Status ParallelExecutor::Push(const std::string& event_type,
+                              const Message& msg) {
+  const TypedMessage one(event_type, msg);
+  return PushBatch(std::span<const TypedMessage>(&one, 1));
+}
+
+Status ParallelExecutor::Finish() {
+  if (queries_.empty()) return Status::OK();
+  statuses_.assign(queries_.size(), Status::OK());
+  pool_->ParallelFor(queries_.size(), [&](size_t i) {
+    statuses_[i] = queries_[i]->Finish();
+  });
+  for (const Status& st : statuses_) {
+    CEDR_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace cedr

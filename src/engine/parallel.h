@@ -1,0 +1,69 @@
+// ParallelExecutor: runs many standing queries over one merged ingress
+// stream on a fixed worker pool. Parallelism is across *queries*, not
+// within one: every registered query consumes the identical
+// arrival-ordered message sequence, queries share no mutable state, and
+// each query's operator graph runs single-threaded. Per-query output is
+// therefore bit-identical to the serial Executor for every worker
+// count; only wall-clock changes (see DESIGN.md, "Parallel execution &
+// batching").
+#ifndef CEDR_ENGINE_PARALLEL_H_
+#define CEDR_ENGINE_PARALLEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/query.h"
+#include "engine/source.h"
+#include "engine/worker_pool.h"
+
+namespace cedr {
+
+struct ParallelConfig {
+  /// Total worker threads (including the calling thread). 1 runs every
+  /// query inline on the calling thread — the exact serial path.
+  int workers = 4;
+  /// Messages per fan-out batch in Run(). Larger batches amortize the
+  /// pool handshake; the batch boundary is a barrier, so extreme sizes
+  /// trade latency for throughput.
+  size_t batch_size = 1024;
+};
+
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(ParallelConfig config = {});
+  ~ParallelExecutor();
+
+  /// Registers a query; the executor does not take ownership.
+  void Register(CompiledQuery* query);
+
+  /// Merges the streams by arrival time, fans batches of the merged
+  /// stream across the registered queries, then finishes the queries.
+  Status Run(const std::vector<LabeledStream>& streams);
+
+  /// Fans one batch across all queries (one pool task per query) and
+  /// waits for the batch barrier. On failure returns the error of the
+  /// earliest-registered failing query; every query still receives the
+  /// full batch.
+  Status PushBatch(std::span<const TypedMessage> batch);
+
+  /// Single-message convenience: a batch of one.
+  Status Push(const std::string& event_type, const Message& msg);
+
+  /// Finishes all queries (parallel, one task per query).
+  Status Finish();
+
+  int workers() const { return pool_->workers(); }
+  const ParallelConfig& config() const { return config_; }
+
+ private:
+  ParallelConfig config_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<CompiledQuery*> queries_;
+  /// Per-query status slots for the in-flight fan-out (index-aligned
+  /// with queries_; each slot is written by exactly one task).
+  std::vector<Status> statuses_;
+};
+
+}  // namespace cedr
+
+#endif  // CEDR_ENGINE_PARALLEL_H_

@@ -46,6 +46,28 @@ Status CompiledQuery::Push(const std::string& event_type, const Message& msg) {
   return Status::OK();
 }
 
+Status CompiledQuery::PushBatch(std::span<const TypedMessage> batch) {
+  if (finished_) {
+    return Status::ExecutionError("query already finished");
+  }
+  // Cache the port lookup across runs of equal event types.
+  const std::string* cached_type = nullptr;
+  const std::vector<std::pair<Operator*, int>>* entries = nullptr;
+  for (const auto& [type, msg] : batch) {
+    last_cs_ = std::max(last_cs_, msg.cs);
+    if (cached_type == nullptr || type != *cached_type) {
+      cached_type = &type;
+      auto it = physical_->inputs.find(type);
+      entries = it == physical_->inputs.end() ? nullptr : &it->second;
+    }
+    if (entries == nullptr) continue;  // not an input: pub/sub routing
+    for (const auto& [op, port] : *entries) {
+      CEDR_RETURN_NOT_OK(op->Push(port, msg));
+    }
+  }
+  return Status::OK();
+}
+
 Status CompiledQuery::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;

@@ -5,6 +5,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 
 #include "engine/sink.h"
 #include "engine/stats.h"
@@ -13,6 +15,10 @@
 #include "plan/physical.h"
 
 namespace cedr {
+
+/// One ingress message labeled with its event type: the unit of the
+/// batched push path (MergeByArrival produces vectors of these).
+using TypedMessage = std::pair<std::string, Message>;
 
 class CompiledQuery {
  public:
@@ -29,6 +35,12 @@ class CompiledQuery {
 
   /// Pushes one message into every input fed by `event_type`.
   Status Push(const std::string& event_type, const Message& msg);
+
+  /// Pushes a batch of typed messages in order. Semantically identical
+  /// to calling Push per element, but amortizes the event-type -> input
+  /// port lookup over runs of equal types (the common case for merged
+  /// source streams).
+  Status PushBatch(std::span<const TypedMessage> batch);
 
   /// Ends the input: a CTI(inf) on every input port (converging all
   /// consistency levels per Definition 6), then a drain.

@@ -378,8 +378,8 @@ Status SupervisedService::ApplyNow(const io::JournalRecord& record) {
   switch (record.op) {
     case io::JournalOp::kPublish: {
       EventId id = record.event.id;
-      CEDR_RETURN_NOT_OK(
-          RouteMessage(record.name, InsertOf(record.event, next_cs_++)));
+      staged_batch_.emplace_back(record.name,
+                                 InsertOf(record.event, next_cs_++));
       published_[record.name].insert(id);
       break;
     }
@@ -392,8 +392,8 @@ Status SupervisedService::ApplyNow(const io::JournalRecord& record) {
                    " never routed on '", record.name,
                    "' (its insert may have been shed)"));
       }
-      CEDR_RETURN_NOT_OK(RouteMessage(
-          record.name, RetractOf(record.event, record.new_ve, next_cs_++)));
+      staged_batch_.emplace_back(
+          record.name, RetractOf(record.event, record.new_ve, next_cs_++));
       break;
     }
     case io::JournalOp::kSyncPoint: {
@@ -404,15 +404,59 @@ Status SupervisedService::ApplyNow(const io::JournalRecord& record) {
         ++shed_.shed_late;
         return Status::OK();
       }
-      CEDR_RETURN_NOT_OK(
-          RouteMessage(record.name, CtiOf(record.time, next_cs_++)));
+      staged_batch_.emplace_back(record.name,
+                                 CtiOf(record.time, next_cs_++));
       last_sync_[record.name] = record.time;
       break;
     }
     default:
       return Status::Internal("non-ingress record in the queue");
   }
-  journal_.Append(record);
+  staged_records_.push_back(record);
+  if (staged_batch_.size() >= config_.routing.max_batch) {
+    return FlushStaged();
+  }
+  return Status::OK();
+}
+
+Status SupervisedService::FlushStaged() {
+  if (staged_batch_.empty()) return Status::OK();
+  Status routed = RouteBatch(staged_batch_);
+  if (routed.ok()) {
+    for (const io::JournalRecord& rec : staged_records_) {
+      journal_.Append(rec);
+    }
+  }
+  staged_batch_.clear();
+  staged_records_.clear();
+  return routed;
+}
+
+Status SupervisedService::RouteBatch(std::span<const TypedMessage> batch) {
+  // Every query filters the shared batch by its own input types
+  // (SwitchableQuery::PushBatch), so the batch is handed to each query
+  // verbatim. Parallelism is across queries: one task per query, each
+  // plan single-threaded, no shared mutable state between tasks.
+  if (config_.routing.route_workers > 1 && queries_.size() > 1) {
+    if (route_pool_ == nullptr) {
+      route_pool_ = std::make_unique<WorkerPool>(config_.routing.route_workers);
+    }
+    route_targets_.clear();
+    for (auto& [name, governed] : queries_) {
+      route_targets_.push_back(governed.query.get());
+    }
+    route_statuses_.assign(route_targets_.size(), Status::OK());
+    route_pool_->ParallelFor(route_targets_.size(), [&](size_t i) {
+      route_statuses_[i] = route_targets_[i]->PushBatch(batch);
+    });
+    for (const Status& st : route_statuses_) {
+      CEDR_RETURN_NOT_OK(st);
+    }
+    return Status::OK();
+  }
+  for (auto& [name, governed] : queries_) {
+    CEDR_RETURN_NOT_OK(governed.query->PushBatch(batch));
+  }
   return Status::OK();
 }
 
@@ -440,7 +484,10 @@ Status SupervisedService::DrainSome(int budget) {
     }
     CEDR_RETURN_NOT_OK(applied);
   }
-  return Status::OK();
+  // Drain boundary: route everything staged (parallel across queries
+  // when configured) and journal it, so liveness and the governor see
+  // fully up-to-date queries.
+  return FlushStaged();
 }
 
 Time SupervisedService::LiveFrontier() const {
@@ -568,6 +615,9 @@ Status SupervisedService::Finish() {
   while (!queue_.empty()) {
     CEDR_RETURN_NOT_OK(DrainSome(static_cast<int>(queue_.size())));
   }
+  // Recovery replays ApplyNow directly (no DrainSome), so a staged
+  // batch can still be pending here.
+  CEDR_RETURN_NOT_OK(FlushStaged());
   // Restore every degraded query to its requested level before the
   // final convergence: the splice repairs the degraded window, so the
   // converged ideal matches an unpressured run wherever nothing was
@@ -716,6 +766,12 @@ Result<std::unique_ptr<SupervisedService>> SupervisedService::Recover(
                  " no longer replays: ", applied.ToString()));
     }
     ++index;
+  }
+  // Replay stages routes like a live drain does; flush the tail batch.
+  Status flushed = svc->FlushStaged();
+  if (!flushed.ok()) {
+    return Status::Corruption(StrCat("supervisor journal replay failed: ",
+                                     flushed.ToString()));
   }
   return svc;
 }

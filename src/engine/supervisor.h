@@ -45,6 +45,7 @@
 #include "consistency/budget.h"
 #include "engine/session.h"
 #include "engine/switching.h"
+#include "engine/worker_pool.h"
 #include "io/journal.h"
 
 namespace cedr {
@@ -77,10 +78,25 @@ struct GovernorConfig {
   QueryBudget default_budget;
 };
 
+struct RoutingConfig {
+  /// Total workers (including the draining thread) fanning each drained
+  /// ingress batch across the registered queries; 1 routes serially on
+  /// the draining thread. Parallelism is across queries - each query's
+  /// plan stays single-threaded and receives the identical
+  /// arrival-ordered batch, so output is bit-identical for every worker
+  /// count (see DESIGN.md, "Parallel execution & batching").
+  int route_workers = 1;
+  /// Staged routes are flushed across the queries at least this often
+  /// within one drain (a cap on route-batch memory, not a semantic
+  /// boundary).
+  size_t max_batch = 512;
+};
+
 struct SupervisorConfig {
   SessionConfig session;
   IngressConfig ingress;
   GovernorConfig governor;
+  RoutingConfig routing;
 };
 
 /// Supervisor-wide ingress accounting.
@@ -223,9 +239,16 @@ class SupervisedService {
   /// Static validation of one call (schema, lifetime, sync advance).
   Status Validate(const io::JournalRecord& record) const;
   /// Applies one accepted call: frontier shedding, reference checks,
-  /// cs stamping, routing, journaling.
+  /// cs stamping, then *stages* the resulting message for routing.
+  /// Staged messages are routed (and their records journaled) by
+  /// FlushStaged, called at every drain boundary and whenever the
+  /// staged batch reaches `routing.max_batch`.
   Status ApplyNow(const io::JournalRecord& record);
   Status RouteMessage(const std::string& type, const Message& msg);
+  /// Routes the staged batch across every query (parallel when
+  /// `routing.route_workers` > 1), then journals the staged records.
+  Status FlushStaged();
+  Status RouteBatch(std::span<const TypedMessage> batch);
   /// Sheds one queued message (retractions first, then inserts; seeded
   /// choice among candidates). False when nothing is sheddable.
   bool TryShedOne();
@@ -247,6 +270,15 @@ class SupervisedService {
   std::map<std::string, std::string> type_owner_;  // type -> source
   std::map<std::string, Governed> queries_;
   std::deque<io::JournalRecord> queue_;
+  /// Applied-but-not-yet-routed messages and their journal records
+  /// (index-aligned); nonempty only inside a drain.
+  std::vector<TypedMessage> staged_batch_;
+  std::vector<io::JournalRecord> staged_records_;
+  /// Pool for parallel routing; created lazily on the first flush when
+  /// `routing.route_workers` > 1.
+  std::unique_ptr<WorkerPool> route_pool_;
+  std::vector<SwitchableQuery*> route_targets_;
+  std::vector<Status> route_statuses_;
   io::JournalWriter journal_;
   Rng shed_rng_;
   std::map<std::string, std::set<EventId>> published_;

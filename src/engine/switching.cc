@@ -32,6 +32,9 @@ Result<std::unique_ptr<SwitchableQuery>> SwitchableQuery::Create(
   query->spec_ = initial_spec;
   CEDR_ASSIGN_OR_RETURN(query->active_,
                         CompiledQuery::Compile(text, catalog, initial_spec));
+  for (std::string& type : query->active_->InputTypes()) {
+    query->input_types_.insert(std::move(type));
+  }
   return query;
 }
 
@@ -45,6 +48,15 @@ Status SwitchableQuery::Push(const std::string& event_type,
     Time& known = input_ctis_[event_type];
     known = std::max(known, msg.time);
     MaybeAdvanceBarrier();
+  }
+  return Status::OK();
+}
+
+Status SwitchableQuery::PushBatch(std::span<const TypedMessage> batch) {
+  if (finished_) return Status::ExecutionError("query already finished");
+  for (const auto& [type, msg] : batch) {
+    if (input_types_.count(type) == 0) continue;  // not routed to us
+    CEDR_RETURN_NOT_OK(Push(type, msg));
   }
   return Status::OK();
 }

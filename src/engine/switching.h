@@ -34,6 +34,13 @@ class SwitchableQuery {
       ConsistencySpec initial_spec);
 
   Status Push(const std::string& event_type, const Message& msg);
+
+  /// Pushes a batch in order, retaining and forwarding only messages
+  /// whose event type is an input of this query. The filter mirrors the
+  /// supervisor's per-query routing, so one shared ingress batch can be
+  /// handed to every query verbatim (the basis of parallel routing).
+  Status PushBatch(std::span<const TypedMessage> batch);
+
   Status Finish();
 
   /// Switches the running query to `spec`. Returns the CEDR time of the
@@ -81,6 +88,8 @@ class SwitchableQuery {
 
   std::string text_;
   Catalog catalog_;
+  /// Input event types of the plan; fixed across SwitchTo (same text).
+  std::set<std::string> input_types_;
   ConsistencySpec spec_ = ConsistencySpec::Middle();
   std::unique_ptr<CompiledQuery> active_;
   /// Retained input for replay, in arrival order: only the suffix since

@@ -1,0 +1,91 @@
+#include "engine/worker_pool.h"
+
+#include <algorithm>
+
+namespace cedr {
+
+WorkerPool::WorkerPool(int workers) {
+  const int total = std::max(1, workers);
+  threads_.reserve(static_cast<size_t>(total - 1));
+  for (int i = 0; i + 1 < total; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    completed_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread claims indices alongside the workers.
+  size_t done_here = 0;
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+    ++done_here;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  completed_ += done_here;
+  // Wait for every index to finish AND for every worker that entered
+  // this generation to leave its claim loop: a worker that snapshotted
+  // the job but was descheduled before claiming must not still hold the
+  // job pointer when this frame (and fn) dies.
+  done_cv_.wait(lock, [&] { return completed_ == job_size_ && active_ == 0; });
+  // Retire the job so workers that wake late see an exhausted index
+  // space.
+  job_ = nullptr;
+  job_size_ = 0;
+}
+
+void WorkerPool::WorkerMain() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    const std::function<void(size_t)>* job = job_;
+    const size_t n = job_size_;
+    ++active_;
+    lock.unlock();
+
+    size_t done_here = 0;
+    if (job != nullptr) {
+      for (;;) {
+        const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        (*job)(i);
+        ++done_here;
+      }
+    }
+
+    lock.lock();
+    completed_ += done_here;
+    --active_;
+    if (completed_ == job_size_ && active_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace cedr

@@ -15,6 +15,25 @@ Time AlignmentBuffer::Frontier() const {
   return frontier;
 }
 
+bool AlignmentBuffer::OfferDirect(const Message& msg, Time /*now_cs*/) {
+  if (!buffered_.empty()) return false;
+  if (msg.kind == MessageKind::kCti) {
+    guarantee_ = std::max(guarantee_, msg.time);
+    watermark_ = std::max(watermark_, msg.time);
+    return true;
+  }
+  // Insert or retract over an empty buffer (no merge target exists).
+  const Time sync = msg.SyncTime();
+  const Time new_watermark = std::max(watermark_, sync);
+  Time frontier = guarantee_;
+  if (max_blocking_ != kInfinity && new_watermark != kMinTime) {
+    frontier = std::max(frontier, TimeSub(new_watermark, max_blocking_));
+  }
+  if (!pass_through() && sync > frontier) return false;  // must buffer
+  watermark_ = new_watermark;
+  return true;
+}
+
 void AlignmentBuffer::Offer(const Message& msg, Time now_cs,
                             std::vector<Message>* released) {
   switch (msg.kind) {

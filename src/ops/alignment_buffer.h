@@ -42,6 +42,14 @@ class AlignmentBuffer {
   /// after the messages they cover. `now_cs` is the CEDR arrival time.
   void Offer(const Message& msg, Time now_cs, std::vector<Message>* released);
 
+  /// Fast path: when the buffer is empty and `msg` would be released
+  /// immediately (pass-through, behind-frontier disorder, or any CTI),
+  /// advances the frontiers and returns true — the caller dispatches
+  /// `msg` directly, without copying it into a released vector. Returns
+  /// false with no state change when the message needs the full Offer
+  /// path (something is buffered, or `msg` itself must be buffered).
+  bool OfferDirect(const Message& msg, Time now_cs);
+
   /// Releases everything still buffered (end of stream).
   void Drain(Time now_cs, std::vector<Message>* released);
 

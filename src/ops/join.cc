@@ -8,7 +8,9 @@ JoinOp::JoinOp(JoinPredicate theta, SchemaPtr output_schema,
                ConsistencySpec spec, std::string name)
     : Operator(std::move(name), spec, /*num_inputs=*/2),
       theta_(std::move(theta)),
-      output_schema_(std::move(output_schema)) {}
+      output_schema_(std::move(output_schema)) {
+  trim_on_advance_ = true;  // pure trim keyed on (ve, horizon)
+}
 
 void JoinOp::SetEquiKeys(KeyExtractor left, KeyExtractor right) {
   sides_[0].key = std::move(left);
@@ -36,7 +38,9 @@ Event JoinOp::MakeOutput(const Event& l, const Event& r, Time ve_l,
 void JoinOp::Store(Side* side, const Event& e) {
   side->events[e.id] = e;
   if (equi_) {
-    side->buckets[side->key(e.payload)].push_back(e.id);
+    std::vector<EventId>& bucket = side->buckets[side->key(e.payload)];
+    if (bucket.empty()) bucket.reserve(4);
+    bucket.push_back(e.id);
   }
 }
 

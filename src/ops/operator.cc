@@ -28,6 +28,18 @@ void Operator::ConnectTo(Operator* downstream, int port) {
 
 Status Operator::Push(int port, const Message& msg) {
   if (!first_error_.ok()) return first_error_;
+  return PushOne(port, msg);
+}
+
+Status Operator::PushBatch(int port, std::span<const Message> msgs) {
+  if (!first_error_.ok()) return first_error_;
+  for (const Message& m : msgs) {
+    CEDR_RETURN_NOT_OK(PushOne(port, m));
+  }
+  return Status::OK();
+}
+
+Status Operator::PushOne(int port, const Message& msg) {
   now_cs_ = std::max(now_cs_, msg.cs);
   switch (msg.kind) {
     case MessageKind::kInsert:
@@ -40,8 +52,20 @@ Status Operator::Push(int port, const Message& msg) {
       ++stats_.in_ctis;
       break;
   }
-  std::vector<Message> released = monitor_.Offer(port, msg, now_cs_);
-  for (const Message& m : released) {
+  if (monitor_.OfferDirect(port, msg, now_cs_)) {
+    // Released untouched: dispatch by const reference, zero copies.
+    CEDR_RETURN_NOT_OK(Dispatch(msg, port));
+    AfterBatch();
+    return Status::OK();
+  }
+  scratch_released_.clear();
+  monitor_.Offer(port, msg, now_cs_, &scratch_released_);
+  if (scratch_released_.empty()) {
+    // Blocked in the alignment buffer: no dispatch, no tracker movement,
+    // no state change — the post-batch trim would be a no-op.
+    return Status::OK();
+  }
+  for (const Message& m : scratch_released_) {
     CEDR_RETURN_NOT_OK(Dispatch(m, port));
   }
   AfterBatch();
@@ -49,26 +73,30 @@ Status Operator::Push(int port, const Message& msg) {
 }
 
 Status Operator::PushAll(int port, const std::vector<Message>& msgs) {
-  for (const Message& m : msgs) {
-    CEDR_RETURN_NOT_OK(Push(port, m));
-  }
-  return Status::OK();
+  return PushBatch(port, msgs);
 }
 
 Status Operator::Drain() {
   if (!first_error_.ok()) return first_error_;
   for (int port = 0; port < monitor_.num_ports(); ++port) {
-    std::vector<Message> released = monitor_.Drain(port, now_cs_);
-    for (const Message& m : released) {
+    scratch_released_.clear();
+    monitor_.Drain(port, now_cs_, &scratch_released_);
+    for (const Message& m : scratch_released_) {
       CEDR_RETURN_NOT_OK(Dispatch(m, port));
     }
   }
-  AfterBatch();
+  // Drained messages may lie below the repair horizon, so force the trim.
+  AfterBatch(/*force=*/true);
   return Status::OK();
 }
 
 Status Operator::Dispatch(const Message& msg, int port) {
   monitor_.NoteDispatch(port, msg);
+  if (trim_on_advance_ && msg.SyncTime() <= last_trim_horizon_) {
+    // Disorder released below the trimmed horizon (optimistic repair):
+    // it may create or shrink state into trimmable territory.
+    trim_dirty_ = true;
+  }
   switch (msg.kind) {
     case MessageKind::kInsert:
       return ProcessInsert(msg.event, port);
@@ -80,8 +108,18 @@ Status Operator::Dispatch(const Message& msg, int port) {
   return Status::Internal("unknown message kind");
 }
 
-void Operator::AfterBatch() {
-  TrimState(monitor_.RepairHorizon());
+void Operator::AfterBatch(bool force) {
+  const Time horizon = monitor_.RepairHorizon();
+  // For pure-trim operators, a TrimState call is a no-op unless the
+  // horizon advanced past the last trim or disorder dispatched a message
+  // at-or-below it: releases are otherwise guaranteed above the horizon,
+  // so they can only create state that outlives it.
+  if (force || !trim_on_advance_ || horizon > last_trim_horizon_ ||
+      trim_dirty_) {
+    TrimState(horizon);
+    last_trim_horizon_ = horizon;
+    trim_dirty_ = false;
+  }
   stats_.max_state_size = std::max(stats_.max_state_size, StateSize());
 }
 

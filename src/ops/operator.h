@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,8 +55,13 @@ class Operator {
   void ConnectTo(Operator* downstream, int port = 0);
 
   /// Pushes one message into input `port`. The message's cs field is its
-  /// CEDR arrival time.
+  /// CEDR arrival time. The message is passed by const reference down to
+  /// the operational module; it is copied only when the alignment buffer
+  /// must retain it or an operator stores state.
   Status Push(int port, const Message& msg);
+  /// Batched push: same per-message semantics as Push, with the sticky
+  /// error check hoisted out of the loop.
+  Status PushBatch(int port, std::span<const Message> msgs);
   Status PushAll(int port, const std::vector<Message>& msgs);
 
   /// Releases everything still blocked in the alignment buffers (end of
@@ -123,9 +129,18 @@ class Operator {
   /// time (optimistic emission deadlines).
   Time max_watermark() const { return monitor_.MaxWatermark(); }
 
+ protected:
+  /// Subclasses whose TrimState is a pure trim keyed on the repair
+  /// horizon (no other side effects) set this in their constructor: the
+  /// base class then skips TrimState calls that are provably no-ops
+  /// (horizon unchanged and no released message below it), amortizing
+  /// the per-event O(state) trim scans into per-advance ones.
+  bool trim_on_advance_ = false;
+
  private:
+  Status PushOne(int port, const Message& msg);
   Status Dispatch(const Message& msg, int port);
-  void AfterBatch();
+  void AfterBatch(bool force = false);
 
   std::string name_;
   ConsistencyMonitor monitor_;
@@ -134,6 +149,15 @@ class Operator {
   Time now_cs_ = 0;
   Time last_emitted_cti_ = kMinTime;
   OperatorStats stats_;
+  /// Reusable buffer for messages released by the monitor (alive only
+  /// within one Push/Drain; plans are acyclic so Dispatch never re-enters
+  /// this operator).
+  std::vector<Message> scratch_released_;
+  /// Repair horizon at the last TrimState call, and whether a message
+  /// at-or-below it was dispatched since (only tracked when
+  /// trim_on_advance_ is set).
+  Time last_trim_horizon_ = kMinTime;
+  bool trim_dirty_ = false;
   /// First downstream failure observed during an Emit* call; surfaced by
   /// the next Push/Drain.
   Status first_error_;

@@ -121,7 +121,9 @@ AtMostOp::AtMostOp(size_t n, int num_inputs, Duration scope,
     : Operator(std::move(name), spec, num_inputs),
       n_(n),
       scope_(scope),
-      predicate_(predicate ? std::move(predicate) : TruePatternPredicate()) {}
+      predicate_(predicate ? std::move(predicate) : TruePatternPredicate()) {
+  trim_on_advance_ = true;  // pure trim keyed on (Vs + scope, horizon)
+}
 
 size_t AtMostOp::StateSize() const {
   return pool_.size() + tracked_.size();

@@ -15,6 +15,9 @@ PatternOpBase::PatternOpBase(int num_inputs, Duration scope,
       output_schema_(std::move(output_schema)),
       stores_(num_inputs) {
   sc_modes_.resize(num_inputs);
+  // TrimState here is a pure trim keyed on (Vs + scope, horizon): safe
+  // to run only when the horizon advances.
+  trim_on_advance_ = true;
 }
 
 size_t PatternOpBase::StateSize() const {

@@ -126,7 +126,9 @@ TEST(ConsistencyMonitorTest, EffectiveSpecClampsBlockingToMemory) {
 // operator base class does this per message).
 void OfferAndDispatch(ConsistencyMonitor* monitor, int port,
                       const Message& msg, Time now_cs) {
-  for (const Message& m : monitor->Offer(port, msg, now_cs)) {
+  std::vector<Message> released;
+  monitor->Offer(port, msg, now_cs, &released);
+  for (const Message& m : released) {
     monitor->NoteDispatch(port, m);
   }
 }
@@ -145,7 +147,8 @@ TEST(ConsistencyMonitorTest, GuaranteeNotVisibleBeforeDispatch) {
   // A CTI in flight (returned from Offer but not yet dispatched) must
   // not advance the observed guarantee.
   ConsistencyMonitor monitor(ConsistencySpec::Middle(), 1);
-  std::vector<Message> released = monitor.Offer(0, CtiOf(10, 1), 1);
+  std::vector<Message> released;
+  monitor.Offer(0, CtiOf(10, 1), 1, &released);
   ASSERT_EQ(released.size(), 1u);
   EXPECT_EQ(monitor.InputGuarantee(), kMinTime);
   monitor.NoteDispatch(0, released[0]);
