@@ -1,0 +1,33 @@
+// Corpus files: minimized audit reproducers serialized to a line-based
+// text format so they diff well, survive code review, and replay as
+// tier-1 regression tests (corpus_replay_test runs every file under
+// tests/corpus/).
+#ifndef CEDR_AUDIT_CORPUS_H_
+#define CEDR_AUDIT_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+
+namespace cedr {
+namespace audit {
+
+/// Renders a case in the corpus text format.
+std::string FormatCase(const AuditCase& c);
+
+/// Parses FormatCase output. Rejects unknown directives, unknown
+/// schemas, and malformed message lines with kParseError.
+Result<AuditCase> ParseCase(const std::string& text);
+
+Status SaveCase(const AuditCase& c, const std::string& path);
+Result<AuditCase> LoadCase(const std::string& path);
+
+/// Lexicographically sorted *.case files under `dir` (empty when the
+/// directory is missing).
+std::vector<std::string> ListCorpus(const std::string& dir);
+
+}  // namespace audit
+}  // namespace cedr
+
+#endif  // CEDR_AUDIT_CORPUS_H_

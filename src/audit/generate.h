@@ -1,0 +1,51 @@
+// Seeded workload generation for the differential audit: deterministic
+// ordered input streams over the two audit payload schemas and a random
+// (workload, schedule) case generator spanning the operator registry,
+// the pattern query templates, the consistency spectrum, and all
+// execution modes. Same seed, same case - the fuzz driver's contract.
+#ifndef CEDR_AUDIT_GENERATE_H_
+#define CEDR_AUDIT_GENERATE_H_
+
+#include "audit/auditor.h"
+#include "common/rng.h"
+
+namespace cedr {
+namespace audit {
+
+/// The audit payload schemas: "kv" = (k: int64, v: int64),
+/// "kvd" = (k: int64, v: double).
+SchemaPtr KvSchema();
+SchemaPtr KvdSchema();
+SchemaPtr SchemaByName(const std::string& name);
+/// "kv" / "kvd"; empty for any other schema.
+std::string SchemaName(const SchemaPtr& schema);
+
+Row KvRow(int64_t k, int64_t v);
+Row KvdRow(int64_t k, double v);
+
+struct StreamConfig {
+  int events = 40;
+  /// Lifetimes start in [1, horizon); durations in [1, horizon / 4].
+  Time horizon = 60;
+  int keys = 4;
+  double retract_fraction = 0.0;
+  /// Use the (int64, double) payload schema instead of (int64, int64).
+  bool double_values = false;
+};
+
+/// An ordered, CTI-free stream of inserts and retractions (retract ids
+/// reference earlier inserts); event ids start at `first_id`.
+std::vector<Message> GenerateStream(Rng* rng, const StreamConfig& config,
+                                    EventId first_id = 1);
+
+/// The `index`-th audit case of the seeded run: derives a per-case rng
+/// from (seed, index) and draws the target (a registry operator or a
+/// query template), the consistency spec, the input workload, and the
+/// schedule. Weak specs keep disorder within the memory bound so lost
+/// corrections stay the exception rather than the rule.
+AuditCase GenerateCase(uint64_t seed, uint64_t index);
+
+}  // namespace audit
+}  // namespace cedr
+
+#endif  // CEDR_AUDIT_GENERATE_H_

@@ -1,0 +1,182 @@
+#include "audit/minimize.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cedr {
+namespace audit {
+
+namespace {
+
+/// One reducible unit: an insert message and the retractions that
+/// reference its id, in stream order.
+struct EventGroup {
+  std::vector<Message> messages;
+};
+
+std::vector<EventGroup> GroupStream(const std::vector<Message>& messages) {
+  std::vector<EventGroup> groups;
+  std::map<EventId, size_t> by_id;
+  for (const Message& m : messages) {
+    if (m.kind == MessageKind::kInsert) {
+      by_id[m.event.id] = groups.size();
+      groups.push_back({{m}});
+    } else if (m.kind == MessageKind::kRetract) {
+      auto it = by_id.find(m.event.id);
+      if (it != by_id.end()) {
+        groups[it->second].messages.push_back(m);
+      } else {
+        // A retract with no preceding insert: its own group, removable
+        // independently.
+        groups.push_back({{m}});
+      }
+    }
+    // CTIs never appear in ordered audit inputs; drop defensively.
+  }
+  return groups;
+}
+
+/// Rebuilds a stream from the kept groups, restoring sync order.
+std::vector<Message> UngroupStream(const std::vector<EventGroup>& groups,
+                                   const std::vector<bool>& keep) {
+  std::vector<Message> out;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (!keep[i]) continue;
+    out.insert(out.end(), groups[i].messages.begin(),
+               groups[i].messages.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.SyncTime() < b.SyncTime();
+                   });
+  return out;
+}
+
+struct GroupedCase {
+  /// Per input stream: its groups.
+  std::vector<std::vector<EventGroup>> streams;
+  /// Flat index: (stream, group) of every group across all streams.
+  std::vector<std::pair<size_t, size_t>> flat;
+
+  explicit GroupedCase(const AuditCase& c) {
+    streams.reserve(c.inputs.size());
+    for (size_t s = 0; s < c.inputs.size(); ++s) {
+      streams.push_back(GroupStream(c.inputs[s].messages));
+      for (size_t g = 0; g < streams.back().size(); ++g) {
+        flat.emplace_back(s, g);
+      }
+    }
+  }
+
+  AuditCase Rebuild(const AuditCase& base,
+                    const std::vector<bool>& keep_flat) const {
+    AuditCase out = base;
+    std::vector<std::vector<bool>> keep(streams.size());
+    for (size_t s = 0; s < streams.size(); ++s) {
+      keep[s].assign(streams[s].size(), false);
+    }
+    for (size_t i = 0; i < flat.size(); ++i) {
+      if (keep_flat[i]) keep[flat[i].first][flat[i].second] = true;
+    }
+    for (size_t s = 0; s < streams.size(); ++s) {
+      out.inputs[s].messages = UngroupStream(streams[s], keep[s]);
+    }
+    return out;
+  }
+};
+
+/// Schedule simplifications in decreasing strength; each is kept only
+/// if the failure survives it.
+std::vector<std::function<void(AuditCase*)>> ScheduleSimplifications() {
+  return {
+      [](AuditCase* c) {
+        c->schedule.disorder.disorder_fraction = 0;
+        c->schedule.disorder.max_delay = 0;
+      },
+      [](AuditCase* c) { c->schedule.switches.clear(); },
+      [](AuditCase* c) { c->schedule.mode = ExecMode::kSerial; },
+      [](AuditCase* c) { c->schedule.disorder.cti_period = 10; },
+  };
+}
+
+}  // namespace
+
+MinimizeResult Minimize(const AuditCase& c, const FailurePredicate& fails,
+                        size_t max_probes) {
+  MinimizeResult result;
+  result.minimized = c;
+  size_t probes = 0;
+  auto probe = [&](const AuditCase& candidate) {
+    if (probes >= max_probes) return false;
+    ++probes;
+    return fails(candidate);
+  };
+
+  // Phase 1: schedule simplification (cheap wins first - a reproducer
+  // that fails serially with no disorder is far easier to debug).
+  for (const auto& simplify : ScheduleSimplifications()) {
+    AuditCase candidate = result.minimized;
+    simplify(&candidate);
+    if (probe(candidate)) result.minimized = std::move(candidate);
+  }
+
+  // Phase 2: ddmin over event groups.
+  GroupedCase grouped(result.minimized);
+  const size_t n = grouped.flat.size();
+  result.groups_before = n;
+  std::vector<bool> keep(n, true);
+  size_t kept = n;
+
+  size_t chunk = (kept + 1) / 2;
+  while (kept > 1 && probes < max_probes) {
+    bool any_removed = false;
+    size_t i = 0;
+    while (i < n && probes < max_probes) {
+      // Next window of up to `chunk` kept groups starting at i.
+      std::vector<size_t> window;
+      size_t j = i;
+      for (; j < n && window.size() < chunk; ++j) {
+        if (keep[j]) window.push_back(j);
+      }
+      if (window.empty()) break;
+      std::vector<bool> candidate_keep = keep;
+      for (size_t g : window) candidate_keep[g] = false;
+      AuditCase candidate =
+          grouped.Rebuild(result.minimized, candidate_keep);
+      if (probe(candidate)) {
+        keep = std::move(candidate_keep);
+        kept -= window.size();
+        any_removed = true;
+      }
+      i = j;
+    }
+    if (any_removed) continue;  // retry at the same granularity
+    if (chunk == 1) break;
+    chunk = std::max<size_t>(1, chunk / 2);
+  }
+  result.minimized = grouped.Rebuild(result.minimized, keep);
+
+  // Phase 3: retry schedule simplification on the shrunk workload (a
+  // smaller input often no longer needs the exotic schedule).
+  for (const auto& simplify : ScheduleSimplifications()) {
+    AuditCase candidate = result.minimized;
+    simplify(&candidate);
+    if (probe(candidate)) result.minimized = std::move(candidate);
+  }
+
+  result.groups_after = kept;
+  result.probes = probes;
+  return result;
+}
+
+MinimizeResult Minimize(const AuditCase& c, size_t max_probes) {
+  return Minimize(
+      c,
+      [](const AuditCase& candidate) {
+        return !DifferentialAuditor::Run(candidate).pass;
+      },
+      max_probes);
+}
+
+}  // namespace audit
+}  // namespace cedr

@@ -1,0 +1,44 @@
+// Delta-debugging minimizer: shrinks a failing (workload, schedule)
+// audit case to a minimal reproducer. Reduction operates on *event
+// groups* - an insert and every retraction that references it - so the
+// shrunk streams stay well formed (a retract-of-unknown would itself be
+// an anomaly and mask the original failure). Schedule simplification
+// tries the cheapest schedule first: no disorder, serial execution, no
+// switches.
+#ifndef CEDR_AUDIT_MINIMIZE_H_
+#define CEDR_AUDIT_MINIMIZE_H_
+
+#include <functional>
+
+#include "audit/auditor.h"
+
+namespace cedr {
+namespace audit {
+
+/// True when the case still exhibits the failure being minimized. The
+/// default oracle is "DifferentialAuditor::Run does not pass"; tests
+/// inject synthetic predicates.
+using FailurePredicate = std::function<bool(const AuditCase&)>;
+
+struct MinimizeResult {
+  AuditCase minimized;
+  /// Total event-group count before / after.
+  size_t groups_before = 0;
+  size_t groups_after = 0;
+  /// Predicate evaluations spent.
+  size_t probes = 0;
+};
+
+/// ddmin over the case's event groups plus schedule simplification.
+/// `fails` must be deterministic; the returned case still satisfies it.
+/// Precondition: fails(c) is true.
+MinimizeResult Minimize(const AuditCase& c, const FailurePredicate& fails,
+                        size_t max_probes = 2000);
+
+/// Convenience: minimize against the differential auditor itself.
+MinimizeResult Minimize(const AuditCase& c, size_t max_probes = 2000);
+
+}  // namespace audit
+}  // namespace cedr
+
+#endif  // CEDR_AUDIT_MINIMIZE_H_

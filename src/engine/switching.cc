@@ -156,6 +156,18 @@ std::vector<Message> SwitchableQuery::OutputMessages() const {
     target_by_id.erase(it);
   }
   for (const auto& [id, t] : target_by_id) {
+    if (out.inserted.count(id) > 0) {
+      // The spliced stream already used this identity and retracted it
+      // to an empty lifetime (e.g. a retired optimistic level whose
+      // blocker arrived before the switch). A dead identity cannot be
+      // revived, so confirm it under a fresh one (Section 4's
+      // remove-and-reinsert protocol).
+      Event fresh = *t;
+      fresh.id = IdGen({t->id, 0xC0FFEE});
+      fresh.k = fresh.id;
+      out.messages.push_back(InsertOf(fresh, cs));
+      continue;
+    }
     out.messages.push_back(InsertOf(*t, cs));  // confirmed but unspliced
   }
   return std::move(out.messages);

@@ -24,9 +24,13 @@ Result<Value> ComputeAggregate(AggregateKind kind,
     case AggregateKind::kCount:
       return Value(static_cast<int64_t>(values.size()));
     case AggregateKind::kSum: {
-      Value acc(static_cast<int64_t>(0));
-      for (const Value& v : values) {
-        CEDR_ASSIGN_OR_RETURN(acc, ValueAdd(acc, v));
+      // Seed the accumulator from the first value so the sum keeps the
+      // column's type: an int64 0 seed would force every non-numeric
+      // column (strings) through ValueAdd's numeric path and fail.
+      if (values.empty()) return Value(static_cast<int64_t>(0));
+      Value acc = values[0];
+      for (size_t i = 1; i < values.size(); ++i) {
+        CEDR_ASSIGN_OR_RETURN(acc, ValueAdd(acc, values[i]));
       }
       return acc;
     }

@@ -38,15 +38,26 @@ Status DifferenceOp::ProcessInsert(const Event& e, int port) {
 }
 
 Status DifferenceOp::ProcessRetract(const Event& e, Time new_ve, int port) {
+  // A retract whose target is no longer stored was trimmed at the repair
+  // horizon: its (possibly already shrunk) interval ended at or before
+  // the horizon. That is a *lost* correction only if the retract would
+  // still have changed something - i.e. it shrinks below both the
+  // original end and the horizon. A no-op retract (new_ve >= the
+  // original ve, or >= the horizon every trimmed interval ended under)
+  // affects only the trimmed, final region and must not inflate the
+  // lost-correction count.
+  auto lost_if_effective = [&]() {
+    if (new_ve < e.ve && new_ve < repair_horizon()) CountLostCorrection();
+  };
   auto it = state_.find(e.payload);
   if (it == state_.end()) {
-    CountLostCorrection();
+    lost_if_effective();
     return Status::OK();
   }
   auto& side = port == 0 ? it->second.left : it->second.right;
   auto eit = side.find(e.id);
   if (eit == side.end()) {
-    CountLostCorrection();
+    lost_if_effective();
     return Status::OK();
   }
   if (new_ve >= eit->second.end) return Status::OK();

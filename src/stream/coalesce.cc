@@ -1,6 +1,8 @@
 #include "stream/coalesce.h"
 
 #include <algorithm>
+#include <cassert>
+#include <set>
 
 #include "common/hash.h"
 
@@ -74,6 +76,14 @@ std::map<Row, IntervalSet> ToRelation(const std::vector<Event>& events) {
 
 std::vector<Event> FromRelation(const std::map<Row, IntervalSet>& relation) {
   std::vector<Event> out;
+  // Ids must be unique *and* deterministic for a given relation. A pure
+  // (payload, interval) hash is deterministic but two distinct pairs can
+  // collide under the 64-bit mix; a per-relation counter in the low bits
+  // disambiguates (relations are iterated in map order, so the counter
+  // assignment is itself deterministic).
+  constexpr uint64_t kCounterBits = 20;
+  constexpr uint64_t kCounterMask = (1ULL << kCounterBits) - 1;
+  uint64_t counter = 0;
   for (const auto& [payload, set] : relation) {
     for (const Interval& iv : set.intervals()) {
       Event e;
@@ -83,15 +93,27 @@ std::vector<Event> FromRelation(const std::map<Row, IntervalSet>& relation) {
       e.oe = kInfinity;
       e.rt = iv.start;
       e.payload = payload;
-      // Deterministic id from payload hash and interval.
+      // Deterministic id from payload hash and interval, counter-tagged.
       size_t seed = payload.Hash();
       HashCombineValue(&seed, iv.start);
       HashCombineValue(&seed, iv.end);
-      e.id = SplitMix64(seed) | (1ULL << 62);
+      e.id = (SplitMix64(seed) & ~kCounterMask) | (counter & kCounterMask) |
+             (1ULL << 62);
+      ++counter;
       e.k = e.id;
       out.push_back(std::move(e));
     }
   }
+#ifndef NDEBUG
+  {
+    std::set<EventId> ids;
+    for (const Event& e : out) {
+      bool inserted = ids.insert(e.id).second;
+      assert(inserted && "FromRelation produced a duplicate event id");
+      (void)inserted;
+    }
+  }
+#endif
   return out;
 }
 

@@ -45,10 +45,22 @@ std::vector<Message> ApplyDisorder(const std::vector<Message>& ordered,
               return a.seq < b.seq;
             });
 
+  // A CTI promises that every later message has sync time >= its
+  // guarantee. The period-based bound (arrival - max_delay) alone is
+  // not sound: a retraction is additionally held back until after the
+  // insert it corrects, which can exceed max_delay. Clamp each
+  // guarantee to the minimum sync time still to be delivered.
+  std::vector<Time> suffix_min_sync(pending.size() + 1, kInfinity);
+  for (size_t i = pending.size(); i-- > 0;) {
+    suffix_min_sync[i] =
+        std::min(suffix_min_sync[i + 1], pending[i].msg.SyncTime());
+  }
+
   std::vector<Message> out;
   out.reserve(pending.size() + pending.size() / 4 + 1);
   Time next_cti = kMinTime;
-  for (const Pending& p : pending) {
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const Pending& p = pending[i];
     if (config.cti_period > 0) {
       if (next_cti == kMinTime) {
         next_cti = TimeAdd(p.arrival, config.cti_period);
@@ -56,7 +68,8 @@ std::vector<Message> ApplyDisorder(const std::vector<Message>& ordered,
       while (p.arrival >= next_cti) {
         // Everything delayed by at most max_delay: by arrival time T all
         // messages with sync < T - max_delay have arrived.
-        Time guarantee = TimeSub(next_cti, config.max_delay);
+        Time guarantee =
+            std::min(TimeSub(next_cti, config.max_delay), suffix_min_sync[i]);
         out.push_back(CtiOf(guarantee, next_cti));
         next_cti = TimeAdd(next_cti, config.cti_period);
       }

@@ -1,0 +1,220 @@
+// The differential-audit subsystem itself: corpus format round-trips,
+// the generator is deterministic, the minimizer shrinks while
+// preserving the failure, and the auditor's verdicts line up with the
+// denotational oracle on hand-built cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "audit/auditor.h"
+#include "audit/corpus.h"
+#include "audit/generate.h"
+#include "audit/minimize.h"
+#include "denotation/relational.h"
+
+namespace cedr {
+namespace audit {
+namespace {
+
+AuditCase SelectCase() {
+  AuditCase c;
+  c.name = "select-basic";
+  c.op_name = "select";
+  c.spec = ConsistencySpec::Middle();
+  std::vector<Message> in;
+  Event a = MakeEvent(1, 2, 8, KvRow(2, 10));  // key even: kept
+  a.cs = 2;
+  Event b = MakeEvent(2, 4, 9, KvRow(3, 20));  // key odd: dropped
+  b.cs = 4;
+  in.push_back(InsertOf(a, 2));
+  in.push_back(InsertOf(b, 4));
+  c.inputs.push_back({"in0", std::move(in)});
+  c.schedule.disorder.cti_period = 5;
+  c.schedule.disorder.seed = 17;
+  return c;
+}
+
+TEST(AuditorTest, SingleOpPassesAgainstOracle) {
+  AuditResult r = DifferentialAuditor::Run(SelectCase());
+  EXPECT_TRUE(r.pass) << r.detail;
+  EXPECT_FALSE(r.skipped_equality);
+}
+
+TEST(AuditorTest, OracleIsScheduleInvariant) {
+  AuditCase c = SelectCase();
+  auto base = DifferentialAuditor::Oracle(c);
+  ASSERT_TRUE(base.ok());
+  c.schedule.disorder.disorder_fraction = 0.5;
+  c.schedule.disorder.max_delay = 9;
+  c.schedule.disorder.seed = 99;
+  auto mutated = DifferentialAuditor::Oracle(c);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_TRUE(denotation::StarEqual(base.ValueOrDie(),
+                                    mutated.ValueOrDie()));
+}
+
+TEST(AuditorTest, DetectsInjectedDivergence) {
+  // A case whose runtime output cannot match: claim the select is a
+  // different operator (union oracle with one port is just identity).
+  AuditCase c = SelectCase();
+  auto oracle = DifferentialAuditor::Oracle(c);
+  ASSERT_TRUE(oracle.ok());
+  // select keeps only even keys, so the identity oracle differs.
+  EXPECT_FALSE(denotation::StarEqual(
+      oracle.ValueOrDie(), denotation::IdealOf(c.inputs[0].messages)));
+}
+
+TEST(AuditorTest, StrongPassesThroughSourceRetraction) {
+  // A retraction native to the source flows through a strong operator;
+  // the audit must not flag it (see corpus
+  // select-strong-source-retract).
+  AuditCase c = SelectCase();
+  c.spec = ConsistencySpec::Strong();
+  Event a = c.inputs[0].messages[0].event;
+  c.inputs[0].messages.push_back(RetractOf(a, /*new_ve=*/5, 6));
+  AuditResult r = DifferentialAuditor::Run(c);
+  EXPECT_TRUE(r.pass) << r.detail;
+}
+
+TEST(AuditorTest, RejectsAmbiguousTarget) {
+  AuditCase c = SelectCase();
+  c.query_text = "EVENT Q WHEN ANY(A, B)";
+  AuditResult r = DifferentialAuditor::Run(c);
+  EXPECT_FALSE(r.pass);
+  EXPECT_FALSE(r.status.ok());
+}
+
+TEST(GeneratorTest, SameSeedSameCase) {
+  for (uint64_t i = 0; i < 20; ++i) {
+    AuditCase a = GenerateCase(42, i);
+    AuditCase b = GenerateCase(42, i);
+    EXPECT_EQ(FormatCase(a), FormatCase(b)) << "index " << i;
+  }
+}
+
+TEST(GeneratorTest, DistinctIndicesDiffer) {
+  EXPECT_NE(FormatCase(GenerateCase(42, 0)), FormatCase(GenerateCase(42, 1)));
+}
+
+TEST(GeneratorTest, StreamsAreOrderedAndCtiFree) {
+  for (uint64_t i = 0; i < 50; ++i) {
+    AuditCase c = GenerateCase(7, i);
+    for (const LabeledStream& s : c.inputs) {
+      Time last = kMinTime;
+      for (const Message& m : s.messages) {
+        EXPECT_NE(m.kind, MessageKind::kCti);
+        EXPECT_GE(m.SyncTime(), last);
+        last = m.SyncTime();
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, WeakDelayStaysWithinMemory) {
+  for (uint64_t i = 0; i < 200; ++i) {
+    AuditCase c = GenerateCase(3, i);
+    if (!c.spec.IsWeak()) continue;
+    EXPECT_LE(c.schedule.disorder.max_delay, c.spec.max_memory / 2);
+  }
+}
+
+TEST(CorpusTest, FormatParseRoundTrip) {
+  for (uint64_t i = 0; i < 25; ++i) {
+    AuditCase c = GenerateCase(11, i);
+    std::string text = FormatCase(c);
+    auto parsed = ParseCase(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(FormatCase(parsed.ValueOrDie()), text);
+  }
+}
+
+TEST(CorpusTest, RoundTripPreservesVerdict) {
+  AuditCase c = SelectCase();
+  auto parsed = ParseCase(FormatCase(c));
+  ASSERT_TRUE(parsed.ok());
+  AuditResult before = DifferentialAuditor::Run(c);
+  AuditResult after = DifferentialAuditor::Run(parsed.ValueOrDie());
+  EXPECT_EQ(before.pass, after.pass);
+}
+
+TEST(CorpusTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCase("").ok());
+  EXPECT_FALSE(ParseCase("case x\nop nope\nbogus directive\n").ok());
+  EXPECT_FALSE(ParseCase("case x\nop select\nstream in0 kv\n"
+                         "i not numbers\nend\n")
+                   .ok());
+  EXPECT_FALSE(ParseCase("case x\nop select\nstream in0 unknown\nend\n")
+                   .ok());
+}
+
+TEST(MinimizerTest, ShrinksToRelevantGroups) {
+  // Failure predicate: the case still contains event id 7. ddmin must
+  // strip every other group and keep the failure invariant true.
+  AuditCase c = SelectCase();
+  std::vector<Message>& in = c.inputs[0].messages;
+  for (int64_t i = 0; i < 20; ++i) {
+    Event e = MakeEvent(100 + static_cast<EventId>(i), 10 + i, 20 + i,
+                        KvRow(i % 3, i));
+    e.cs = 10 + i;
+    in.push_back(InsertOf(e, e.cs));
+  }
+  Event needle = MakeEvent(7, 30, 40, KvRow(0, 777));
+  needle.cs = 30;
+  in.push_back(InsertOf(needle, 30));
+  in.push_back(RetractOf(needle, 35, 36));
+  std::stable_sort(in.begin(), in.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.SyncTime() < b.SyncTime();
+                   });
+
+  auto fails = [](const AuditCase& candidate) {
+    for (const Message& m : candidate.inputs[0].messages) {
+      if (m.kind == MessageKind::kInsert && m.event.id == 7) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(fails(c));
+  MinimizeResult m = Minimize(c, fails);
+  EXPECT_TRUE(fails(m.minimized));
+  EXPECT_EQ(m.groups_after, 1u);
+  EXPECT_LT(m.groups_after, m.groups_before);
+  // The needle's retraction rides along with its insert (same group).
+  EXPECT_EQ(m.minimized.inputs[0].messages.size(), 2u);
+}
+
+TEST(MinimizerTest, SimplifiesSchedule) {
+  AuditCase c = SelectCase();
+  c.schedule.disorder.disorder_fraction = 0.4;
+  c.schedule.disorder.max_delay = 8;
+  c.schedule.mode = ExecMode::kSnapshotRestore;
+  auto always = [](const AuditCase&) { return true; };
+  MinimizeResult m = Minimize(c, always);
+  EXPECT_EQ(m.minimized.schedule.disorder.disorder_fraction, 0.0);
+  EXPECT_EQ(m.minimized.schedule.mode, ExecMode::kSerial);
+}
+
+TEST(MinimizerTest, KeepsFailingScheduleWhenSimplificationMasks) {
+  // The failure depends on snapshot mode: simplification must back off.
+  AuditCase c = SelectCase();
+  c.schedule.mode = ExecMode::kSnapshotRestore;
+  auto fails = [](const AuditCase& candidate) {
+    return candidate.schedule.mode == ExecMode::kSnapshotRestore;
+  };
+  MinimizeResult m = Minimize(c, fails);
+  EXPECT_EQ(m.minimized.schedule.mode, ExecMode::kSnapshotRestore);
+  EXPECT_TRUE(fails(m.minimized));
+}
+
+TEST(FuzzSmokeTest, FirstCasesPass) {
+  // A miniature of the CI fuzz job: a couple dozen seeded cases across
+  // ops, queries, specs and schedules must hold up in the tier-1 suite.
+  for (uint64_t i = 0; i < 25; ++i) {
+    AuditCase c = GenerateCase(1, i);
+    AuditResult r = DifferentialAuditor::Run(c);
+    EXPECT_TRUE(r.pass) << c.name << "\n" << r.detail;
+  }
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace cedr

@@ -1,0 +1,51 @@
+// Tier-1 regression gate: every minimized reproducer committed under
+// tests/corpus/ must replay green. A new fuzz failure lands here as a
+// .case file together with its fix; this test keeps the bug fixed.
+#include <gtest/gtest.h>
+
+#include "audit/auditor.h"
+#include "audit/corpus.h"
+
+#ifndef CEDR_CORPUS_DIR
+#error "CEDR_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace cedr {
+namespace audit {
+namespace {
+
+std::vector<std::string> CorpusPaths() { return ListCorpus(CEDR_CORPUS_DIR); }
+
+TEST(CorpusReplayTest, CorpusIsNotEmpty) {
+  EXPECT_FALSE(CorpusPaths().empty())
+      << "no .case files under " << CEDR_CORPUS_DIR;
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusReplay, Passes) {
+  auto case_r = LoadCase(GetParam());
+  ASSERT_TRUE(case_r.ok()) << case_r.status().ToString();
+  AuditCase c = std::move(case_r).ValueUnsafe();
+  AuditResult r = DifferentialAuditor::Run(c);
+  EXPECT_TRUE(r.pass) << c.name << "\n" << r.detail;
+}
+
+std::string NameOf(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = info.param;
+  size_t slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  for (char& ch : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay,
+                         ::testing::ValuesIn(CorpusPaths()), NameOf);
+
+}  // namespace
+}  // namespace audit
+}  // namespace cedr

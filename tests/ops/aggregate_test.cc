@@ -1,0 +1,56 @@
+// ComputeAggregate: the sum accumulator is seeded from the first value
+// so the column's type is preserved - an int64 0 seed would truncate
+// double sums and reject string concatenation outright.
+#include "ops/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace cedr {
+namespace {
+
+TEST(ComputeAggregateTest, SumKeepsDoubleType) {
+  std::vector<Value> values = {Value(3.25), Value(0.5), Value(7.75)};
+  auto r = ComputeAggregate(AggregateKind::kSum, values);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.ValueOrDie().AsDouble(), 11.5);
+}
+
+TEST(ComputeAggregateTest, SumKeepsInt64Type) {
+  std::vector<Value> values = {Value(int64_t{4}), Value(int64_t{5})};
+  auto r = ComputeAggregate(AggregateKind::kSum, values);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().type(), ValueType::kInt64);
+  EXPECT_EQ(r.ValueOrDie().AsInt64(), 9);
+}
+
+TEST(ComputeAggregateTest, SumConcatenatesStrings) {
+  std::vector<Value> values = {Value(std::string("ab")),
+                               Value(std::string("cd"))};
+  auto r = ComputeAggregate(AggregateKind::kSum, values);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().AsString(), "abcd");
+}
+
+TEST(ComputeAggregateTest, SumOfSingleValueIsThatValue) {
+  auto r = ComputeAggregate(AggregateKind::kSum, {Value(2.5)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.ValueOrDie().AsDouble(), 2.5);
+}
+
+TEST(ComputeAggregateTest, SumOfEmptyGroupIsZero) {
+  auto r = ComputeAggregate(AggregateKind::kSum, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().AsInt64(), 0);
+}
+
+TEST(ComputeAggregateTest, MixedNumericSumPromotesToDouble) {
+  std::vector<Value> values = {Value(int64_t{1}), Value(0.5)};
+  auto r = ComputeAggregate(AggregateKind::kSum, values);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.ValueOrDie().AsDouble(), 1.5);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,77 @@
+// Lost-correction accounting under weak memory: a retraction whose
+// target was trimmed counts as lost only if it would still have
+// changed retained output. No-op corrections against the trimmed,
+// final region must not inflate the count (the consistency governor
+// keys off it, and the differential audit skips equality when it is
+// nonzero).
+#include <gtest/gtest.h>
+
+#include "engine/sink.h"
+#include "ops/difference.h"
+#include "testing/helpers.h"
+
+namespace cedr {
+namespace {
+
+using testing::KV;
+
+class TrimmedDifference : public ::testing::Test {
+ protected:
+  // Weak(M = 10): after CTI(30) on both ports the repair horizon is 20
+  // and e_'s interval [1, 8) has been trimmed out of the store.
+  void SetUp() override {
+    op_ = std::make_unique<DifferenceOp>(ConsistencySpec::Custom(0, 10));
+    op_->ConnectTo(&sink_, 0);
+    e_ = MakeEvent(1, 1, 8, KV(1, 0));
+    ASSERT_TRUE(op_->Push(0, InsertOf(e_, 1)).ok());
+    ASSERT_TRUE(op_->Push(0, CtiOf(30, 30)).ok());
+    ASSERT_TRUE(op_->Push(1, CtiOf(30, 30)).ok());
+    ASSERT_EQ(op_->stats().lost_corrections, 0u);
+  }
+
+  std::unique_ptr<DifferenceOp> op_;
+  CollectingSink sink_;
+  Event e_;
+};
+
+TEST_F(TrimmedDifference, NoOpRetractIsNotLost) {
+  // new_ve == ve: the correction changes nothing, trimmed or not.
+  ASSERT_TRUE(op_->Push(0, RetractOf(e_, /*new_ve=*/8, 31)).ok());
+  EXPECT_EQ(op_->stats().lost_corrections, 0u);
+}
+
+TEST_F(TrimmedDifference, RetractBeyondHorizonIsNotLost) {
+  // new_ve >= horizon: every trimmed interval ended below the horizon,
+  // so the correction could only touch the final region.
+  ASSERT_TRUE(op_->Push(0, RetractOf(e_, /*new_ve=*/25, 31)).ok());
+  EXPECT_EQ(op_->stats().lost_corrections, 0u);
+}
+
+TEST_F(TrimmedDifference, EffectiveLateRetractIsLost) {
+  // Shrinks below both the original end and the horizon: had the state
+  // survived, output would have changed. This convergence loss must be
+  // reported.
+  ASSERT_TRUE(op_->Push(0, RetractOf(e_, /*new_ve=*/3, 31)).ok());
+  EXPECT_EQ(op_->stats().lost_corrections, 1u);
+}
+
+TEST(DifferenceRepairTest, InWindowRetractStillRepairs) {
+  // Control: with the state intact, the same correction is applied and
+  // nothing is counted as lost.
+  DifferenceOp op(ConsistencySpec::Custom(0, 10));
+  CollectingSink sink;
+  op.ConnectTo(&sink, 0);
+  Event e = MakeEvent(1, 1, 8, KV(1, 0));
+  ASSERT_TRUE(op.Push(0, InsertOf(e, 1)).ok());
+  ASSERT_TRUE(op.Push(0, RetractOf(e, /*new_ve=*/3, 4)).ok());
+  ASSERT_TRUE(op.Push(0, CtiOf(kInfinity, 40)).ok());
+  ASSERT_TRUE(op.Push(1, CtiOf(kInfinity, 40)).ok());
+  ASSERT_TRUE(op.Drain().ok());
+  EXPECT_EQ(op.stats().lost_corrections, 0u);
+  EventList ideal = sink.Ideal();
+  ASSERT_EQ(ideal.size(), 1u);
+  EXPECT_EQ(ideal[0].valid(), (Interval{1, 3}));
+}
+
+}  // namespace
+}  // namespace cedr

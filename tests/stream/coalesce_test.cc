@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "common/row.h"
 
 namespace cedr {
@@ -134,6 +137,47 @@ TEST(RelationTest, FromRelationAssignsDeterministicIds) {
   auto b = FromRelation(ToRelation(events));
   ASSERT_EQ(a.size(), 1u);
   EXPECT_EQ(a[0].id, b[0].id);
+}
+
+TEST(RelationTest, FromRelationIdsAreUniqueAcrossManyRows) {
+  // Two distinct (payload, interval) pairs can collide under a pure
+  // 64-bit hash; the counter tag must keep ids unique regardless. A
+  // large grid of rows and fragments makes collisions in the hash-only
+  // scheme overwhelmingly likely to surface under the debug assert and
+  // is checked explicitly here for release builds.
+  std::map<Row, IntervalSet> relation;
+  for (int64_t p = 0; p < 64; ++p) {
+    IntervalSet set;
+    for (Time t = 0; t < 64; ++t) {
+      set.Add({t * 4, t * 4 + 2});  // disjoint: all fragments survive
+    }
+    relation[P(p)] = std::move(set);
+  }
+  std::vector<Event> events = FromRelation(relation);
+  ASSERT_EQ(events.size(), 64u * 64u);
+  std::set<EventId> ids;
+  for (const Event& e : events) {
+    EXPECT_TRUE(ids.insert(e.id).second)
+        << "duplicate id " << e.id << " for payload "
+        << e.payload.ToString();
+  }
+}
+
+TEST(RelationTest, FromRelationIsDeterministicAcrossCalls) {
+  std::map<Row, IntervalSet> relation;
+  for (int64_t p = 0; p < 8; ++p) {
+    IntervalSet set;
+    set.Add({p, p + 3});
+    set.Add({p + 10, p + 12});
+    relation[P(p)] = std::move(set);
+  }
+  std::vector<Event> a = FromRelation(relation);
+  std::vector<Event> b = FromRelation(relation);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].valid(), b[i].valid());
+  }
 }
 
 }  // namespace
