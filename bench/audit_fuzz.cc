@@ -14,7 +14,9 @@
 //   --replay=DIR    first replay every .case file in DIR (regression
 //                   corpus) and count its failures too;
 //   exit status     0 iff every replayed and generated case passed.
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -54,6 +56,26 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
     return true;
   }
   return false;
+}
+
+void Usage(std::ostream& os) {
+  os << "usage: audit_fuzz [--seed=N] [--iters=N] [--minimize[=0]]\n"
+        "                  [--corpus=DIR] [--replay=DIR]\n"
+        "                  [--out=BENCH_audit.json] [--verbose]\n"
+        "Runs seeded audit cases against the denotational oracle and\n"
+        "writes throughput metrics to --out; exit 0 iff every case "
+        "passed.\n";
+}
+
+/// Strict unsigned parse: the whole value must be digits.
+bool ParseUint(const std::string& value, uint64_t* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) return false;
+  *out = parsed;
+  return true;
 }
 
 std::string DescribeCase(const AuditCase& c) {
@@ -174,10 +196,23 @@ int main(int argc, char** argv) {
   cedr::audit::Options opts;
   for (int i = 1; i < argc; ++i) {
     std::string value;
+    uint64_t parsed = 0;
     if (cedr::audit::ParseFlag(argv[i], "seed", &value)) {
-      opts.seed = std::stoull(value);
+      if (!cedr::audit::ParseUint(value, &parsed)) {
+        std::cerr << "audit_fuzz: malformed value for --seed: '" << value
+                  << "'\n";
+        cedr::audit::Usage(std::cerr);
+        return 2;
+      }
+      opts.seed = parsed;
     } else if (cedr::audit::ParseFlag(argv[i], "iters", &value)) {
-      opts.iters = std::stoull(value);
+      if (!cedr::audit::ParseUint(value, &parsed)) {
+        std::cerr << "audit_fuzz: malformed value for --iters: '" << value
+                  << "'\n";
+        cedr::audit::Usage(std::cerr);
+        return 2;
+      }
+      opts.iters = parsed;
     } else if (cedr::audit::ParseFlag(argv[i], "minimize", &value)) {
       opts.minimize = value != "0";
     } else if (cedr::audit::ParseFlag(argv[i], "corpus", &value)) {
@@ -188,8 +223,13 @@ int main(int argc, char** argv) {
       opts.out = value;
     } else if (cedr::audit::ParseFlag(argv[i], "verbose", &value)) {
       opts.verbose = value != "0";
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      cedr::audit::Usage(std::cout);
+      return 0;
     } else {
-      std::cerr << "unknown flag: " << argv[i] << "\n";
+      std::cerr << "audit_fuzz: unknown flag: " << argv[i] << "\n";
+      cedr::audit::Usage(std::cerr);
       return 2;
     }
   }

@@ -14,6 +14,15 @@ ParallelExecutor::~ParallelExecutor() = default;
 
 void ParallelExecutor::Register(CompiledQuery* query) {
   queries_.push_back(query);
+  terminal_.push_back(Status::OK());
+}
+
+std::vector<size_t> ParallelExecutor::Quarantined() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < terminal_.size(); ++i) {
+    if (!terminal_[i].ok()) out.push_back(i);
+  }
+  return out;
 }
 
 Status ParallelExecutor::Run(const std::vector<LabeledStream>& streams) {
@@ -29,14 +38,27 @@ Status ParallelExecutor::Run(const std::vector<LabeledStream>& streams) {
 
 Status ParallelExecutor::PushBatch(std::span<const TypedMessage> batch) {
   if (batch.empty() || queries_.empty()) return Status::OK();
-  statuses_.assign(queries_.size(), Status::OK());
-  pool_->ParallelFor(queries_.size(), [&](size_t i) {
-    statuses_[i] = queries_[i]->PushBatch(batch);
-  });
-  for (const Status& st : statuses_) {
-    CEDR_RETURN_NOT_OK(st);
+  live_.clear();
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (terminal_[i].ok()) live_.push_back(i);
   }
-  return Status::OK();
+  if (live_.empty()) return Status::OK();
+  std::vector<Status> statuses = pool_->ParallelForGuarded(
+      live_.size(),
+      [&](size_t slot) { return queries_[live_[slot]]->PushBatch(batch); });
+  // Quarantine on the coordinating thread, after the barrier: the first
+  // fault (in registration order) is reported to the caller, every
+  // faulting query is sealed, and the survivors stay live.
+  Status first = Status::OK();
+  for (size_t slot = 0; slot < live_.size(); ++slot) {
+    if (statuses[slot].ok()) continue;
+    const size_t i = live_[slot];
+    terminal_[i] = statuses[slot];
+    queries_[i]->CloseWithError(statuses[slot]);
+    ++num_quarantined_;
+    if (first.ok()) first = statuses[slot];
+  }
+  return first;
 }
 
 Status ParallelExecutor::Push(const std::string& event_type,
@@ -47,11 +69,15 @@ Status ParallelExecutor::Push(const std::string& event_type,
 
 Status ParallelExecutor::Finish() {
   if (queries_.empty()) return Status::OK();
-  statuses_.assign(queries_.size(), Status::OK());
-  pool_->ParallelFor(queries_.size(), [&](size_t i) {
-    statuses_[i] = queries_[i]->Finish();
-  });
-  for (const Status& st : statuses_) {
+  live_.clear();
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (terminal_[i].ok()) live_.push_back(i);
+  }
+  if (live_.empty()) return Status::OK();
+  std::vector<Status> statuses = pool_->ParallelForGuarded(
+      live_.size(),
+      [&](size_t slot) { return queries_[live_[slot]]->Finish(); });
+  for (const Status& st : statuses) {
     CEDR_RETURN_NOT_OK(st);
   }
   return Status::OK();

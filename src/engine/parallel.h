@@ -40,28 +40,44 @@ class ParallelExecutor {
   /// stream across the registered queries, then finishes the queries.
   Status Run(const std::vector<LabeledStream>& streams);
 
-  /// Fans one batch across all queries (one pool task per query) and
-  /// waits for the batch barrier. On failure returns the error of the
-  /// earliest-registered failing query; every query still receives the
-  /// full batch.
+  /// Fans one batch across all live queries (one pool task per query)
+  /// and waits for the batch barrier. Each query runs inside a fault
+  /// domain: a query whose PushBatch fails — by Status or by throwing —
+  /// is quarantined (its sink closed with the terminal error, the query
+  /// excluded from every later fan-out) while its siblings and the
+  /// process are unaffected. Returns the error of the earliest
+  /// registered query that failed *in this call* (so callers see the
+  /// fault once); later calls return OK and keep serving the survivors.
   Status PushBatch(std::span<const TypedMessage> batch);
 
   /// Single-message convenience: a batch of one.
   Status Push(const std::string& event_type, const Message& msg);
 
-  /// Finishes all queries (parallel, one task per query).
+  /// Finishes all live queries (parallel, one task per query).
+  /// Quarantined queries are not finished: their streams died with
+  /// their terminal error, they did not end.
   Status Finish();
 
   int workers() const { return pool_->workers(); }
   const ParallelConfig& config() const { return config_; }
 
+  /// Terminal status of query `i` in registration order: OK while live,
+  /// the quarantining fault afterwards.
+  const Status& terminal(size_t i) const { return terminal_[i]; }
+  /// Registration indices of quarantined queries, ascending.
+  std::vector<size_t> Quarantined() const;
+  size_t num_quarantined() const { return num_quarantined_; }
+
  private:
   ParallelConfig config_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<CompiledQuery*> queries_;
-  /// Per-query status slots for the in-flight fan-out (index-aligned
-  /// with queries_; each slot is written by exactly one task).
-  std::vector<Status> statuses_;
+  /// Per-query terminal status (index-aligned with queries_): OK while
+  /// the query is live, the fault that quarantined it afterwards.
+  std::vector<Status> terminal_;
+  size_t num_quarantined_ = 0;
+  /// Scratch: indices of live queries for the in-flight fan-out.
+  std::vector<size_t> live_;
 };
 
 }  // namespace cedr

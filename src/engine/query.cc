@@ -40,6 +40,7 @@ Status CompiledQuery::Push(const std::string& event_type, const Message& msg) {
     // Not an input of this query: ignore (pub/sub style routing).
     return Status::OK();
   }
+  if (fault_hook_) CEDR_RETURN_NOT_OK(fault_hook_(event_type, msg));
   for (auto& [op, port] : it->second) {
     CEDR_RETURN_NOT_OK(op->Push(port, msg));
   }
@@ -61,6 +62,7 @@ Status CompiledQuery::PushBatch(std::span<const TypedMessage> batch) {
       entries = it == physical_->inputs.end() ? nullptr : &it->second;
     }
     if (entries == nullptr) continue;  // not an input: pub/sub routing
+    if (fault_hook_) CEDR_RETURN_NOT_OK(fault_hook_(type, msg));
     for (const auto& [op, port] : *entries) {
       CEDR_RETURN_NOT_OK(op->Push(port, msg));
     }

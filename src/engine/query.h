@@ -3,6 +3,7 @@
 #ifndef CEDR_ENGINE_QUERY_H_
 #define CEDR_ENGINE_QUERY_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -22,6 +23,14 @@ using TypedMessage = std::pair<std::string, Message>;
 
 class CompiledQuery {
  public:
+  /// Fault-injection seam (chaos testing): consulted for every message
+  /// actually routed to an input port, before the operators see it. A
+  /// non-OK return fails the push; the hook may also throw, which the
+  /// fault-domain barriers (ParallelExecutor, SupervisedService) must
+  /// absorb. Null disables injection.
+  using FaultHook =
+      std::function<Status(const std::string& type, const Message& msg)>;
+
   /// Parses, binds, optimizes and builds `text` against `catalog`.
   /// `spec_override` replaces the query's CONSISTENCY clause (used by the
   /// benches to sweep the consistency spectrum over one query).
@@ -47,6 +56,10 @@ class CompiledQuery {
   Status Finish();
 
   const CollectingSink& sink() const { return *sink_; }
+  /// Closes the output sink with a terminal error (query quarantine:
+  /// the stream died with `error`, it did not end).
+  void CloseWithError(const Status& error) { sink_->CloseWithError(error); }
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
   /// The registered query text; empty for FromBound (programmatic)
   /// queries, which cannot be checkpointed.
   const std::string& text() const { return text_; }
@@ -79,6 +92,7 @@ class CompiledQuery {
   plan::OptimizeResult optimize_result_;
   std::unique_ptr<plan::PhysicalPlan> physical_;
   std::unique_ptr<CollectingSink> sink_;
+  FaultHook fault_hook_;
   Time last_cs_ = 0;
   bool finished_ = false;
 };

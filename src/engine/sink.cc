@@ -8,6 +8,7 @@ CollectingSink::CollectingSink(std::string name)
     : Operator(std::move(name), ConsistencySpec::Middle(), /*num_inputs=*/1) {}
 
 Status CollectingSink::ProcessInsert(const Event& e, int /*port*/) {
+  if (closed()) return terminal_;
   ++inserts_;
   messages_.push_back(InsertOf(e, now_cs()));
   return Status::OK();
@@ -15,15 +16,22 @@ Status CollectingSink::ProcessInsert(const Event& e, int /*port*/) {
 
 Status CollectingSink::ProcessRetract(const Event& e, Time new_ve,
                                       int /*port*/) {
+  if (closed()) return terminal_;
   ++retracts_;
   messages_.push_back(RetractOf(e, new_ve, now_cs()));
   return Status::OK();
 }
 
 Status CollectingSink::ProcessCti(Time t, int /*port*/) {
+  if (closed()) return terminal_;
   ++ctis_;
   messages_.push_back(CtiOf(t, now_cs()));
   return Status::OK();
+}
+
+void CollectingSink::CloseWithError(const Status& error) {
+  if (!terminal_.ok() || error.ok()) return;
+  terminal_ = error;
 }
 
 EventList CollectingSink::Ideal() const {
@@ -42,6 +50,7 @@ EventList CollectingSink::AliveAt(Time t) const {
 void CollectingSink::Clear() {
   messages_.clear();
   inserts_ = retracts_ = ctis_ = 0;
+  terminal_ = Status::OK();
 }
 
 void CollectingSink::SnapshotState(io::BinaryWriter* w) const {

@@ -30,6 +30,15 @@ class CollectingSink : public Operator {
   /// Output size in the Figure 8 sense.
   uint64_t OutputSize() const { return inserts_ + retracts_; }
 
+  /// Terminal status of the output stream: OK while the stream is open.
+  /// A quarantined query's sink is closed with the fault that killed it,
+  /// so consumers can distinguish "stream ended" from "stream died".
+  const Status& terminal() const { return terminal_; }
+  bool closed() const { return !terminal_.ok(); }
+  /// Closes the sink with a terminal error (first close wins; closing
+  /// with OK is a no-op). A closed sink rejects further messages.
+  void CloseWithError(const Status& error);
+
   void Clear();
 
  protected:
@@ -46,6 +55,10 @@ class CollectingSink : public Operator {
   uint64_t inserts_ = 0;
   uint64_t retracts_ = 0;
   uint64_t ctis_ = 0;
+  /// OK while open; the terminal fault once closed. Not serialized: a
+  /// quarantine is runtime state, and journal replay rebuilds a clean
+  /// query (see DESIGN.md, "Fault domains & admission control").
+  Status terminal_;
 };
 
 }  // namespace cedr

@@ -1,8 +1,11 @@
 #include "engine/supervisor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 
 #include "common/format.h"
+#include "io/serde.h"
 
 namespace cedr {
 
@@ -44,6 +47,24 @@ std::string JoinTypes(const std::vector<std::string>& types) {
   return out;
 }
 
+/// Error barrier for one query operation: a Status failure passes
+/// through, a throw becomes kExecutionError. Keeps one faulting plan
+/// from taking down the routing thread with it.
+template <typename Fn>
+Status GuardQuery(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return Status::ExecutionError(StrCat("query threw: ", e.what()));
+  } catch (...) {
+    return Status::ExecutionError("query threw a non-standard exception");
+  }
+}
+
+const char* DisplayTenant(const std::string& tenant) {
+  return tenant.empty() ? "<default>" : tenant.c_str();
+}
+
 }  // namespace
 
 const char* GovernorPhaseToString(GovernorPhase phase) {
@@ -54,6 +75,8 @@ const char* GovernorPhaseToString(GovernorPhase phase) {
       return "degraded";
     case GovernorPhase::kRestoring:
       return "restoring";
+    case GovernorPhase::kQuarantined:
+      return "quarantined";
   }
   return "?";
 }
@@ -106,8 +129,16 @@ std::vector<ConsistencySpec> SupervisedService::LadderFor(
 
 Result<std::string> SupervisedService::RegisterQuery(
     const std::string& text, std::optional<ConsistencySpec> spec_override,
-    std::optional<QueryBudget> budget) {
+    std::optional<QueryBudget> budget, const std::string& tenant) {
   if (finished_) return Status::ExecutionError("supervisor already finished");
+  TenantState& tenant_state = TenantFor(tenant);
+  if (tenant_state.queries.size() >= tenant_state.quota.max_queries) {
+    ++tenant_state.rejected_registration;
+    return Status::ResourceExhausted(
+        StrCat("tenant '", DisplayTenant(tenant), "' is at its query quota (",
+               tenant_state.quota.max_queries, "); retry after ",
+               RetryAfterHint(queue_.size()), " ticks"));
+  }
   ConsistencySpec probe_spec =
       spec_override.value_or(ConsistencySpec::Middle());
   CEDR_ASSIGN_OR_RETURN(
@@ -130,11 +161,13 @@ Result<std::string> SupervisedService::RegisterQuery(
   Governed governed;
   governed.requested = query->current_spec();
   governed.budget = budget.value_or(config_.governor.default_budget);
+  governed.tenant = tenant;
   governed.ladder = LadderFor(governed.requested, config_.governor);
   std::vector<std::string> inputs = query->active().InputTypes();
   governed.input_types.insert(inputs.begin(), inputs.end());
   governed.query = std::move(query);
   queries_.emplace(name, std::move(governed));
+  tenant_state.queries.insert(name);
 
   io::JournalRecord rec;
   rec.op = io::JournalOp::kRegisterQuery;
@@ -142,15 +175,27 @@ Result<std::string> SupervisedService::RegisterQuery(
   rec.text = text;
   rec.has_spec = spec_override.has_value();
   if (rec.has_spec) rec.spec = *spec_override;
+  // The otherwise-unused source field carries the tenant, so old
+  // journals (empty tenant) replay byte-identically.
+  rec.source = tenant;
   journal_.Append(rec);
   return name;
 }
 
 Status SupervisedService::AttachSource(
-    const std::string& source, const std::vector<std::string>& types) {
+    const std::string& source, const std::vector<std::string>& types,
+    const std::string& tenant) {
   if (finished_) return Status::ExecutionError("supervisor already finished");
   if (source.empty() || source == kSupervisorSource) {
     return Status::InvalidArgument("invalid source name");
+  }
+  TenantState& tenant_state = TenantFor(tenant);
+  if (tenant_state.sources.size() >= tenant_state.quota.max_sources) {
+    ++tenant_state.rejected_registration;
+    return Status::ResourceExhausted(
+        StrCat("tenant '", DisplayTenant(tenant),
+               "' is at its source quota (", tenant_state.quota.max_sources,
+               "); retry after ", RetryAfterHint(queue_.size()), " ticks"));
   }
   if (sessions_.count(source) > 0) {
     return Status::AlreadyExists(
@@ -174,12 +219,17 @@ Status SupervisedService::AttachSource(
   for (const std::string& type : types) type_owner_[type] = source;
   sessions_.emplace(source,
                     SourceSession(source, config_.session, types));
+  source_tenant_[source] = tenant;
+  tenant_state.sources.insert(source);
 
   io::JournalRecord rec;
   rec.op = io::JournalOp::kEpoch;
   rec.name = source;
   rec.seq = 0;
   rec.text = JoinTypes(types);
+  // Tenant rides in the otherwise-unused source field (see
+  // RegisterQuery).
+  rec.source = tenant;
   journal_.Append(rec);
   return Status::OK();
 }
@@ -243,7 +293,7 @@ Status SupervisedService::Validate(const io::JournalRecord& record) const {
   }
 }
 
-bool SupervisedService::TryShedOne() {
+bool SupervisedService::TryShedOne(const std::string* tenant_filter) {
   // Weak-consistency-repairable messages go first: a dropped provider
   // retraction is exactly the "lost correction" weak consistency is
   // defined to tolerate. Inserts go next (real data loss, recorded).
@@ -254,7 +304,14 @@ bool SupervisedService::TryShedOne() {
        {io::JournalOp::kRetract, io::JournalOp::kPublish}) {
     std::vector<size_t> candidates;
     for (size_t i = 0; i < queue_.size(); ++i) {
-      if (queue_[i].op == victim_op) candidates.push_back(i);
+      if (queue_[i].op != victim_op) continue;
+      if (tenant_filter != nullptr) {
+        auto owner = source_tenant_.find(queue_[i].source);
+        const std::string owner_tenant =
+            owner == source_tenant_.end() ? std::string() : owner->second;
+        if (owner_tenant != *tenant_filter) continue;
+      }
+      candidates.push_back(i);
     }
     if (candidates.empty()) continue;
     size_t pick = candidates[shed_rng_.NextBounded(candidates.size())];
@@ -266,6 +323,11 @@ bool SupervisedService::TryShedOne() {
     } else {
       ++shed_.shed_inserts;
       ++per_type.inserts;
+    }
+    auto owner = source_tenant_.find(victim.source);
+    if (owner != source_tenant_.end()) {
+      TenantState& ts = TenantFor(owner->second);
+      if (ts.queued > 0) --ts.queued;
     }
     queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
     return true;
@@ -286,18 +348,46 @@ Status SupervisedService::Offer(const Ingress& ingress,
   record.seq = ingress.seq;
   CEDR_RETURN_NOT_OK(Validate(record));
 
-  // Backpressure before admission, so a rejected call burns no sequence
-  // number and the provider can retry it verbatim.
+  // Tenant admission, then global backpressure, all before session
+  // admission - a rejected call burns no sequence number and the
+  // provider can retry it verbatim. Every rejection grows
+  // reject_backlog_, so consecutive rejections carry growing retry-after
+  // hints even while the queue sits pinned at capacity.
+  auto owner = source_tenant_.find(ingress.source);
+  const std::string tenant_id =
+      owner == source_tenant_.end() ? std::string() : owner->second;
+  TenantState& tenant_state = TenantFor(tenant_id);
+  if (tenant_state.admitted_this_tick >=
+      tenant_state.quota.max_calls_per_tick) {
+    ++tenant_state.rejected_rate;
+    ++shed_.backpressure_rejections;
+    ++type_shed_[record.name].rejected;
+    ++reject_backlog_;
+    return Status::ResourceExhausted(
+        StrCat("tenant '", DisplayTenant(tenant_id), "' is over its ",
+               tenant_state.quota.max_calls_per_tick,
+               " calls/tick quota; retry after 1 ticks"));
+  }
+  if (tenant_state.queued >= tenant_state.quota.max_queue_share &&
+      !TryShedOne(&tenant_id)) {
+    ++tenant_state.rejected_queue_share;
+    ++shed_.backpressure_rejections;
+    ++type_shed_[record.name].rejected;
+    ++reject_backlog_;
+    return Status::ResourceExhausted(
+        StrCat("tenant '", DisplayTenant(tenant_id),
+               "' is over its queue share (", tenant_state.queued, "/",
+               tenant_state.quota.max_queue_share, " calls); retry after ",
+               RetryAfterHint(tenant_state.queued), " ticks"));
+  }
   if (queue_.size() >= config_.ingress.queue_capacity && !TryShedOne()) {
     ++shed_.backpressure_rejections;
     ++type_shed_[record.name].rejected;
-    int64_t drain = std::max(1, config_.ingress.drain_per_tick);
-    int64_t hint = std::max<int64_t>(
-        1, static_cast<int64_t>(queue_.size()) / drain);
+    ++reject_backlog_;
     return Status::ResourceExhausted(
         StrCat("ingress queue full (", queue_.size(), "/",
                config_.ingress.queue_capacity, " calls); retry after ",
-               hint, " ticks"));
+               RetryAfterHint(queue_.size()), " ticks"));
   }
 
   CEDR_ASSIGN_OR_RETURN(bool fresh, session.Admit(ingress.epoch,
@@ -332,6 +422,9 @@ Status SupervisedService::Offer(const Ingress& ingress,
   }
   queue_.push_back(std::move(record));
   max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  ++tenant_state.admitted_this_tick;
+  ++tenant_state.admitted;
+  ++tenant_state.queued;
   return Status::OK();
 }
 
@@ -368,8 +461,11 @@ Status SupervisedService::PublishSyncPoint(const Ingress& ingress,
 Status SupervisedService::RouteMessage(const std::string& type,
                                        const Message& msg) {
   for (auto& [name, governed] : queries_) {
+    if (governed.phase == GovernorPhase::kQuarantined) continue;
     if (governed.input_types.count(type) == 0) continue;
-    CEDR_RETURN_NOT_OK(governed.query->Push(type, msg));
+    Status pushed =
+        GuardQuery([&] { return governed.query->Push(type, msg); });
+    if (!pushed.ok()) QuarantineQuery(name, pushed, "push");
   }
   return Status::OK();
 }
@@ -437,25 +533,48 @@ Status SupervisedService::RouteBatch(std::span<const TypedMessage> batch) {
   // (SwitchableQuery::PushBatch), so the batch is handed to each query
   // verbatim. Parallelism is across queries: one task per query, each
   // plan single-threaded, no shared mutable state between tasks.
-  if (config_.routing.route_workers > 1 && queries_.size() > 1) {
+  //
+  // Each query runs inside a fault domain: a Status failure or a throw
+  // quarantines that query after the batch barrier, while its siblings
+  // and the process are unaffected (the batch itself always routes OK).
+  route_targets_.clear();
+  route_names_.clear();
+  for (auto& [name, governed] : queries_) {
+    if (governed.phase == GovernorPhase::kQuarantined) continue;
+    route_targets_.push_back(governed.query.get());
+    route_names_.push_back(name);
+  }
+  if (route_targets_.empty()) return Status::OK();
+  const bool timed = config_.watchdog.enabled;
+  auto push_one = [&](size_t i) -> Status {
+    if (!timed) return route_targets_[i]->PushBatch(batch);
+    const auto start = std::chrono::steady_clock::now();
+    Status pushed = route_targets_[i]->PushBatch(batch);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start);
+    // Each task writes only its own query's counter and the map is not
+    // mutated during the fan-out, so this is race-free on pool workers.
+    queries_.find(route_names_[i])->second.tick_cost_us += elapsed.count();
+    return pushed;
+  };
+  std::vector<Status> statuses;
+  if (config_.routing.route_workers > 1 && route_targets_.size() > 1) {
     if (route_pool_ == nullptr) {
       route_pool_ = std::make_unique<WorkerPool>(config_.routing.route_workers);
     }
-    route_targets_.clear();
-    for (auto& [name, governed] : queries_) {
-      route_targets_.push_back(governed.query.get());
+    statuses = route_pool_->ParallelForGuarded(route_targets_.size(),
+                                               push_one);
+  } else {
+    statuses.reserve(route_targets_.size());
+    for (size_t i = 0; i < route_targets_.size(); ++i) {
+      statuses.push_back(GuardQuery([&] { return push_one(i); }));
     }
-    route_statuses_.assign(route_targets_.size(), Status::OK());
-    route_pool_->ParallelFor(route_targets_.size(), [&](size_t i) {
-      route_statuses_[i] = route_targets_[i]->PushBatch(batch);
-    });
-    for (const Status& st : route_statuses_) {
-      CEDR_RETURN_NOT_OK(st);
-    }
-    return Status::OK();
   }
-  for (auto& [name, governed] : queries_) {
-    CEDR_RETURN_NOT_OK(governed.query->PushBatch(batch));
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (!statuses[i].ok()) {
+      QuarantineQuery(route_names_[i], statuses[i], "push");
+    }
   }
   return Status::OK();
 }
@@ -464,6 +583,11 @@ Status SupervisedService::DrainSome(int budget) {
   for (int i = 0; i < budget && !queue_.empty(); ++i) {
     io::JournalRecord record = std::move(queue_.front());
     queue_.pop_front();
+    auto owner = source_tenant_.find(record.source);
+    if (owner != source_tenant_.end()) {
+      TenantState& ts = TenantFor(owner->second);
+      if (ts.queued > 0) --ts.queued;
+    }
     // A message can become stale while queued (its source was silenced
     // and the supervisor synthesized past it).
     auto session_it = sessions_.find(record.source);
@@ -567,6 +691,7 @@ Status SupervisedService::RunGovernor() {
     return Status::OK();
   }
   for (auto& [name, g] : queries_) {
+    if (g.phase == GovernorPhase::kQuarantined) continue;
     if (g.budget.Unlimited() || g.ladder.size() < 2) continue;
     QueryStats stats = g.query->Stats();
     Duration blocking_delta =
@@ -580,7 +705,12 @@ Status SupervisedService::RunGovernor() {
       if (++g.over_streak >= config_.governor.degrade_after &&
           g.rung + 1 < g.ladder.size()) {
         ++g.rung;
-        CEDR_RETURN_NOT_OK(g.query->SwitchTo(g.ladder[g.rung]).status());
+        Status switched =
+            GuardQuery([&] { return g.query->SwitchTo(g.ladder[g.rung]).status(); });
+        if (!switched.ok()) {
+          QuarantineQuery(name, switched, "switch");
+          continue;
+        }
         g.last_total_blocking = g.query->Stats().total_blocking;
         g.over_streak = 0;
         g.phase = GovernorPhase::kDegraded;
@@ -588,9 +718,17 @@ Status SupervisedService::RunGovernor() {
       }
     } else {
       g.over_streak = 0;
-      if (++g.calm_streak >= config_.governor.restore_after && g.rung > 0) {
+      // Per-query restores are suppressed while the query's tenant is
+      // degraded: the tenant governor restores its queries together.
+      if (++g.calm_streak >= config_.governor.restore_after && g.rung > 0 &&
+          !TenantFor(g.tenant).degraded) {
         --g.rung;
-        CEDR_RETURN_NOT_OK(g.query->SwitchTo(g.ladder[g.rung]).status());
+        Status switched =
+            GuardQuery([&] { return g.query->SwitchTo(g.ladder[g.rung]).status(); });
+        if (!switched.ok()) {
+          QuarantineQuery(name, switched, "switch");
+          continue;
+        }
         g.last_total_blocking = g.query->Stats().total_blocking;
         g.calm_streak = 0;
         ++g.restores;
@@ -599,14 +737,201 @@ Status SupervisedService::RunGovernor() {
       }
     }
   }
+
+  // Tenant-level governing: each tenant's aggregate budget is checked
+  // against the sum of its live queries' stats. Sustained violation
+  // degrades every query of the tenant one rung - independently of
+  // other tenants - and sustained calm restores them together.
+  for (auto& [tenant_id, ts] : tenants_) {
+    if (ts.quota.aggregate.Unlimited() || ts.queries.empty()) continue;
+    size_t footprint = 0;
+    size_t buffer = 0;
+    Time blocking = 0;
+    size_t live = 0;
+    for (const std::string& qname : ts.queries) {
+      auto qit = queries_.find(qname);
+      if (qit == queries_.end()) continue;
+      if (qit->second.phase == GovernorPhase::kQuarantined) continue;
+      QueryStats stats = qit->second.query->Stats();
+      footprint += stats.CurFootprint();
+      buffer += stats.cur_buffer_size;
+      blocking += stats.total_blocking;
+      ++live;
+    }
+    if (live == 0) continue;
+    Duration blocking_delta =
+        std::max<Time>(0, blocking - ts.last_total_blocking);
+    ts.last_total_blocking = blocking;
+    const bool over =
+        ts.quota.aggregate.Violated(footprint, buffer, blocking_delta);
+    if (over) {
+      ts.calm_streak = 0;
+      if (++ts.over_streak < config_.governor.degrade_after) continue;
+      ts.over_streak = 0;
+      bool moved = false;
+      for (const std::string& qname : ts.queries) {
+        auto qit = queries_.find(qname);
+        if (qit == queries_.end()) continue;
+        Governed& g = qit->second;
+        if (g.phase == GovernorPhase::kQuarantined) continue;
+        if (g.rung + 1 >= g.ladder.size()) continue;
+        ++g.rung;
+        Status switched =
+            GuardQuery([&] { return g.query->SwitchTo(g.ladder[g.rung]).status(); });
+        if (!switched.ok()) {
+          QuarantineQuery(qname, switched, "switch");
+          continue;
+        }
+        g.last_total_blocking = g.query->Stats().total_blocking;
+        g.phase = GovernorPhase::kDegraded;
+        ++g.degrades;
+        moved = true;
+      }
+      if (moved) {
+        if (!ts.degraded) ++ts.degrades;
+        ts.degraded = true;
+      }
+    } else {
+      ts.over_streak = 0;
+      if (!ts.degraded) {
+        ts.calm_streak = 0;
+        continue;
+      }
+      if (++ts.calm_streak < config_.governor.restore_after) continue;
+      ts.calm_streak = 0;
+      bool moved = false;
+      bool fully_restored = true;
+      for (const std::string& qname : ts.queries) {
+        auto qit = queries_.find(qname);
+        if (qit == queries_.end()) continue;
+        Governed& g = qit->second;
+        if (g.phase == GovernorPhase::kQuarantined) continue;
+        if (g.rung > 0) {
+          --g.rung;
+          Status switched =
+              GuardQuery([&] { return g.query->SwitchTo(g.ladder[g.rung]).status(); });
+          if (!switched.ok()) {
+            QuarantineQuery(qname, switched, "switch");
+            continue;
+          }
+          g.last_total_blocking = g.query->Stats().total_blocking;
+          ++g.restores;
+          moved = true;
+        }
+        g.phase = g.rung == 0 ? GovernorPhase::kSteady
+                              : GovernorPhase::kRestoring;
+        if (g.rung > 0) fully_restored = false;
+      }
+      if (moved) ++ts.restores;
+      if (fully_restored) ts.degraded = false;
+    }
+  }
   return Status::OK();
+}
+
+void SupervisedService::QuarantineQuery(const std::string& name,
+                                        const Status& fault,
+                                        const char* origin) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) return;
+  Governed& g = it->second;
+  if (g.phase == GovernorPhase::kQuarantined) return;
+  QuarantineReport report;
+  report.query = name;
+  report.fault = fault;
+  report.origin = origin;
+  report.at_tick = now_ticks_;
+  // Best-effort post-mortem: the faulted plan may be too broken to
+  // snapshot; the report is filed either way.
+  io::BinaryWriter w;
+  Status snap = GuardQuery([&] { return g.query->active().Snapshot(&w); });
+  if (snap.ok()) report.post_mortem = w.Take();
+  g.query->CloseWithError(fault);
+  g.phase = GovernorPhase::kQuarantined;
+  quarantine_.insert_or_assign(name, std::move(report));
+}
+
+Status SupervisedService::RunWatchdog() {
+  if (!config_.watchdog.enabled) return Status::OK();
+  for (auto& [name, g] : queries_) {
+    if (g.phase == GovernorPhase::kQuarantined) {
+      g.tick_cost_us = 0;
+      continue;
+    }
+    const bool over = g.tick_cost_us > config_.watchdog.tick_deadline_us;
+    g.tick_cost_us = 0;
+    if (!over) {
+      g.slow_streak = 0;
+      continue;
+    }
+    ++g.slow_streak;
+    if (g.slow_streak >= config_.watchdog.quarantine_after) {
+      QuarantineQuery(
+          name,
+          Status::ResourceExhausted(StrCat(
+              "watchdog: query '", name, "' exceeded its ",
+              config_.watchdog.tick_deadline_us, "us tick deadline for ",
+              g.slow_streak, " consecutive ticks")),
+          "watchdog");
+      continue;
+    }
+    // Force-degrade one rung per over-deadline tick past the threshold;
+    // a query that stays slow walks the whole ladder down before the
+    // quarantine threshold ends it.
+    if (g.slow_streak >= config_.watchdog.degrade_after &&
+        g.rung + 1 < g.ladder.size()) {
+      ++g.rung;
+      Status switched =
+          GuardQuery([&] { return g.query->SwitchTo(g.ladder[g.rung]).status(); });
+      if (!switched.ok()) {
+        QuarantineQuery(name, switched, "switch");
+        continue;
+      }
+      g.last_total_blocking = g.query->Stats().total_blocking;
+      g.over_streak = 0;
+      g.calm_streak = 0;
+      g.phase = GovernorPhase::kDegraded;
+      ++g.degrades;
+    }
+  }
+  return Status::OK();
+}
+
+SupervisedService::TenantState& SupervisedService::TenantFor(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  TenantState state;
+  auto quota = config_.tenants.quotas.find(tenant);
+  state.quota = quota != config_.tenants.quotas.end()
+                    ? quota->second
+                    : config_.tenants.default_quota;
+  return tenants_.emplace(tenant, std::move(state)).first->second;
+}
+
+int64_t SupervisedService::RetryAfterHint(size_t depth) const {
+  const int64_t drain = std::max(1, config_.ingress.drain_per_tick);
+  const int64_t backlog =
+      static_cast<int64_t>(depth) + static_cast<int64_t>(reject_backlog_);
+  return std::max<int64_t>(1, backlog / drain);
+}
+
+int64_t SupervisedService::SuggestedRetryAfterTicks() const {
+  return RetryAfterHint(queue_.size());
 }
 
 Status SupervisedService::Tick() {
   if (finished_) return Status::ExecutionError("supervisor already finished");
   ++now_ticks_;
+  for (auto& [tenant, state] : tenants_) state.admitted_this_tick = 0;
+  // One tick works off one drain quantum of rejection backlog, so the
+  // retry-after hint decays as the overload clears.
+  const uint64_t drain =
+      static_cast<uint64_t>(std::max(1, config_.ingress.drain_per_tick));
+  reject_backlog_ -= std::min(reject_backlog_, drain);
   CEDR_RETURN_NOT_OK(DrainSome(config_.ingress.drain_per_tick));
   CEDR_RETURN_NOT_OK(CheckLiveness());
+  CEDR_RETURN_NOT_OK(RunWatchdog());
   return RunGovernor();
 }
 
@@ -622,17 +947,27 @@ Status SupervisedService::Finish() {
   // final convergence: the splice repairs the degraded window, so the
   // converged ideal matches an unpressured run wherever nothing was
   // shed.
+  // Quarantined queries are skipped throughout: their streams died with
+  // their terminal error, they do not converge or end.
   for (auto& [name, g] : queries_) {
+    if (g.phase == GovernorPhase::kQuarantined) continue;
     if (g.rung != 0) {
       g.rung = 0;
-      CEDR_RETURN_NOT_OK(g.query->SwitchTo(g.ladder[0]).status());
+      Status switched =
+          GuardQuery([&] { return g.query->SwitchTo(g.ladder[0]).status(); });
+      if (!switched.ok()) {
+        QuarantineQuery(name, switched, "switch");
+        continue;
+      }
       ++g.restores;
       g.phase = GovernorPhase::kSteady;
     }
   }
   finished_ = true;
   for (auto& [name, g] : queries_) {
-    CEDR_RETURN_NOT_OK(g.query->Finish());
+    if (g.phase == GovernorPhase::kQuarantined) continue;
+    Status ended = GuardQuery([&] { return g.query->Finish(); });
+    if (!ended.ok()) QuarantineQuery(name, ended, "finish");
   }
   io::JournalRecord rec;
   rec.op = io::JournalOp::kFinish;
@@ -700,6 +1035,128 @@ Result<QueryStats> SupervisedService::StatsFor(
   return stats;
 }
 
+Result<QuarantineReport> SupervisedService::QuarantineOf(
+    const std::string& name) const {
+  auto it = quarantine_.find(name);
+  if (it == quarantine_.end()) {
+    return Status::NotFound(
+        StrCat("query '", name, "' is not quarantined"));
+  }
+  return it->second;
+}
+
+std::vector<std::string> SupervisedService::QuarantinedQueries() const {
+  std::vector<std::string> names;
+  names.reserve(quarantine_.size());
+  for (const auto& [name, report] : quarantine_) names.push_back(name);
+  return names;
+}
+
+Status SupervisedService::SetQueryFaultHook(const std::string& name,
+                                            CompiledQuery::FaultHook hook) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  it->second.query->set_fault_hook(std::move(hook));
+  return Status::OK();
+}
+
+Status SupervisedService::ChargeWatchdogCost(const std::string& name,
+                                             int64_t us) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  it->second.tick_cost_us += std::max<int64_t>(0, us);
+  return Status::OK();
+}
+
+std::vector<std::string> SupervisedService::TenantNames() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [tenant, state] : tenants_) names.push_back(tenant);
+  return names;
+}
+
+Result<TenantStatus> SupervisedService::TenantOf(
+    const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound(
+        StrCat("no tenant named '", DisplayTenant(tenant), "'"));
+  }
+  const TenantState& ts = it->second;
+  TenantStatus status;
+  status.tenant = tenant;
+  status.queries = ts.queries.size();
+  status.sources = ts.sources.size();
+  status.queued = ts.queued;
+  status.admitted = ts.admitted;
+  status.rejected_queue_share = ts.rejected_queue_share;
+  status.rejected_rate = ts.rejected_rate;
+  status.rejected_registration = ts.rejected_registration;
+  status.degraded = ts.degraded;
+  status.degrades = ts.degrades;
+  status.restores = ts.restores;
+  return status;
+}
+
+Status SupervisedService::ReviveQuery(const std::string& name) {
+  if (finished_) return Status::ExecutionError("supervisor already finished");
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  Governed& g = it->second;
+  if (g.phase != GovernorPhase::kQuarantined) {
+    return Status::InvalidArgument(
+        StrCat("query '", name, "' is not quarantined"));
+  }
+  // Rebuild a clean plan at the requested level and bring it up to date
+  // by replaying the journaled ingress history. Journal order is
+  // arrival-stamp order (each journaled publish/retract/sync consumed
+  // exactly one cs when first routed), so the replay reproduces the
+  // exact stamps of the live run and the revived query - state and all
+  // future output - is bit-identical to one that never faulted.
+  CEDR_ASSIGN_OR_RETURN(io::JournalContents journal,
+                        io::ReadJournal(journal_.bytes()));
+  CEDR_ASSIGN_OR_RETURN(
+      std::unique_ptr<SwitchableQuery> fresh,
+      SwitchableQuery::Create(g.query->active().text(), catalog_,
+                              g.requested));
+  Time cs = 1;
+  for (const io::JournalRecord& record : journal.records) {
+    Message msg;
+    switch (record.op) {
+      case io::JournalOp::kPublish:
+        msg = InsertOf(record.event, cs);
+        break;
+      case io::JournalOp::kRetract:
+        msg = RetractOf(record.event, record.new_ve, cs);
+        break;
+      case io::JournalOp::kSyncPoint:
+        msg = CtiOf(record.time, cs);
+        break;
+      default:
+        continue;  // not an ingress record: no stamp was consumed
+    }
+    ++cs;
+    if (g.input_types.count(record.name) == 0) continue;
+    CEDR_RETURN_NOT_OK(fresh->Push(record.name, msg));
+  }
+  g.query = std::move(fresh);
+  g.phase = GovernorPhase::kSteady;
+  g.rung = 0;
+  g.over_streak = 0;
+  g.calm_streak = 0;
+  g.slow_streak = 0;
+  g.tick_cost_us = 0;
+  g.last_total_blocking = g.query->Stats().total_blocking;
+  quarantine_.erase(name);
+  return Status::OK();
+}
+
 Result<std::unique_ptr<SupervisedService>> SupervisedService::Recover(
     const std::string& journal_bytes, SupervisorConfig config) {
   CEDR_ASSIGN_OR_RETURN(io::JournalContents journal,
@@ -720,12 +1177,17 @@ Result<std::unique_ptr<SupervisedService>> SupervisedService::Recover(
       case io::JournalOp::kRegisterQuery: {
         std::optional<ConsistencySpec> spec;
         if (record.has_spec) spec = record.spec;
-        applied = svc->RegisterQuery(record.text, spec).status();
+        // The tenant rides in the otherwise-unused source field (empty
+        // on pre-tenant journals = the anonymous default tenant).
+        applied = svc->RegisterQuery(record.text, spec, std::nullopt,
+                                     record.source)
+                      .status();
         break;
       }
       case io::JournalOp::kEpoch:
         if (record.seq == 0) {
-          applied = svc->AttachSource(record.name, SplitTypes(record.text));
+          applied = svc->AttachSource(record.name, SplitTypes(record.text),
+                                      record.source);
         } else {
           auto it = svc->sessions_.find(record.name);
           if (it == svc->sessions_.end()) {

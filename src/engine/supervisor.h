@@ -27,6 +27,27 @@
 //     converged output equals an unpressured run wherever no messages
 //     were shed.
 //
+// Fault domains (see DESIGN.md, "Fault domains & admission control"):
+//
+//   * every query runs inside an error barrier. A query whose push
+//     fails — by Status or by throwing — is *quarantined*: its state is
+//     snapshotted for post-mortem, its sink closed with the terminal
+//     error, and it is excluded from routing; the process and every
+//     other query are unaffected. ReviveQuery rebuilds a quarantined
+//     query from the journal (journal order is arrival-stamp order, so
+//     the replayed state is bit-identical to a never-faulted run);
+//   * a watchdog gives each query a per-tick routing deadline: a query
+//     over its deadline for N consecutive ticks is force-degraded down
+//     the governor ladder, and past a second threshold quarantined
+//     (phase kQuarantined);
+//   * per-tenant admission control: sessions and queries are grouped
+//     under tenant ids, each tenant holding quotas on registered
+//     queries/sources, share of the ingress queue, and admitted calls
+//     per tick. Over-quota calls are rejected with kResourceExhausted
+//     and a retry-after hint proportional to the current overload, and
+//     the governor degrades/restores tenants independently via
+//     per-tenant aggregate budgets.
+//
 // Every accepted ingress call and every epoch boundary is journaled, so
 // Recover() rebuilds the supervisor - sessions, fencing state, queries,
 // and routed history - from the journal alone.
@@ -34,6 +55,7 @@
 #define CEDR_ENGINE_SUPERVISOR_H_
 
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -78,6 +100,50 @@ struct GovernorConfig {
   QueryBudget default_budget;
 };
 
+struct WatchdogConfig {
+  bool enabled = false;
+  /// Per-query routing budget per tick, in microseconds: wall time spent
+  /// pushing batches into the query plus any virtually charged cost
+  /// (ChargeWatchdogCost, the deterministic chaos-testing seam).
+  int64_t tick_deadline_us = 50'000;
+  /// Consecutive over-deadline ticks before the governor force-degrades
+  /// the query one rung (and keeps stepping down while it stays over).
+  int degrade_after = 2;
+  /// Consecutive over-deadline ticks before the query is quarantined.
+  int quarantine_after = 4;
+};
+
+/// Per-tenant resource quotas. A tenant with no explicit quota gets
+/// `TenantPolicy::default_quota` (unbounded unless configured).
+struct TenantQuota {
+  static constexpr size_t kUnboundedSize =
+      std::numeric_limits<size_t>::max();
+  static constexpr uint64_t kUnboundedCount =
+      std::numeric_limits<uint64_t>::max();
+
+  /// Standing queries the tenant may register.
+  size_t max_queries = kUnboundedSize;
+  /// Sources the tenant may attach.
+  size_t max_sources = kUnboundedSize;
+  /// Ingress calls the tenant may hold in the shared bounded queue.
+  size_t max_queue_share = kUnboundedSize;
+  /// Ingress calls the tenant may have admitted per tick.
+  uint64_t max_calls_per_tick = kUnboundedCount;
+  /// Aggregate budget over all the tenant's queries: sustained violation
+  /// degrades every query of the tenant one rung (independently of other
+  /// tenants); sustained calm restores them. Unlimited() disables
+  /// tenant-level governing.
+  QueryBudget aggregate;
+};
+
+struct TenantPolicy {
+  /// Explicit per-tenant quotas, keyed by tenant id.
+  std::map<std::string, TenantQuota> quotas;
+  /// Quota of tenants without an explicit entry (including the anonymous
+  /// default tenant "").
+  TenantQuota default_quota;
+};
+
 struct RoutingConfig {
   /// Total workers (including the draining thread) fanning each drained
   /// ingress batch across the registered queries; 1 routes serially on
@@ -97,6 +163,8 @@ struct SupervisorConfig {
   IngressConfig ingress;
   GovernorConfig governor;
   RoutingConfig routing;
+  WatchdogConfig watchdog;
+  TenantPolicy tenants;
 };
 
 /// Supervisor-wide ingress accounting.
@@ -114,7 +182,7 @@ struct ShedStats {
   }
 };
 
-enum class GovernorPhase { kSteady, kDegraded, kRestoring };
+enum class GovernorPhase { kSteady, kDegraded, kRestoring, kQuarantined };
 
 const char* GovernorPhaseToString(GovernorPhase phase);
 
@@ -124,6 +192,39 @@ struct GovernorStatus {
   GovernorPhase phase = GovernorPhase::kSteady;
   /// Position on the degradation ladder (0 = requested level).
   size_t rung = 0;
+  uint64_t degrades = 0;
+  uint64_t restores = 0;
+};
+
+/// Post-mortem of a quarantined query.
+struct QuarantineReport {
+  std::string query;
+  /// The fault that killed it (also the sink's terminal status).
+  Status fault;
+  /// Where the barrier caught it: "push", "watchdog", "switch", or
+  /// "finish".
+  std::string origin;
+  /// Logical tick of the quarantine.
+  int64_t at_tick = 0;
+  /// CompiledQuery::Snapshot of the plan state at the fault, for
+  /// offline inspection; empty when the faulted plan could not be
+  /// snapshotted.
+  std::string post_mortem;
+};
+
+/// Observable per-tenant accounting.
+struct TenantStatus {
+  std::string tenant;
+  size_t queries = 0;
+  size_t sources = 0;
+  /// Ingress calls currently queued for this tenant.
+  size_t queued = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected_queue_share = 0;
+  uint64_t rejected_rate = 0;
+  uint64_t rejected_registration = 0;
+  /// Tenant-level governor state (aggregate-budget driven).
+  bool degraded = false;
   uint64_t degrades = 0;
   uint64_t restores = 0;
 };
@@ -143,17 +244,23 @@ class SupervisedService {
 
   Status RegisterEventType(const std::string& name, SchemaPtr schema);
 
-  /// Registers a governed standing query. Without an explicit budget the
-  /// governor applies `config.governor.default_budget`.
+  /// Registers a governed standing query under `tenant` ("" = the
+  /// anonymous default tenant). Without an explicit budget the governor
+  /// applies `config.governor.default_budget`. Rejected with
+  /// kResourceExhausted when the tenant is at its query quota.
   Result<std::string> RegisterQuery(
       const std::string& text,
       std::optional<ConsistencySpec> spec_override = std::nullopt,
-      std::optional<QueryBudget> budget = std::nullopt);
+      std::optional<QueryBudget> budget = std::nullopt,
+      const std::string& tenant = {});
 
   /// Creates a session for `source` owning `types` (each event type has
-  /// exactly one publishing source). Journaled as an epoch-0 record.
+  /// exactly one publishing source), grouped under `tenant`. Journaled
+  /// as an epoch-0 record. Rejected with kResourceExhausted when the
+  /// tenant is at its source quota.
   Status AttachSource(const std::string& source,
-                      const std::vector<std::string>& types);
+                      const std::vector<std::string>& types,
+                      const std::string& tenant = {});
 
   /// Declares a provider reconnect: bumps the source's epoch (fencing
   /// stale calls), revives a silent/quarantined source, and returns the
@@ -195,6 +302,38 @@ class SupervisedService {
   Result<GovernorStatus> GovernorOf(const std::string& name) const;
   Result<const SourceSession*> Session(const std::string& source) const;
 
+  // Fault domains.
+
+  /// Post-mortem of a quarantined query (kNotFound while the query is
+  /// live or unknown).
+  Result<QuarantineReport> QuarantineOf(const std::string& name) const;
+  /// Names of currently quarantined queries, ascending.
+  std::vector<std::string> QuarantinedQueries() const;
+  /// Rebuilds a quarantined query at its requested level by replaying
+  /// the journaled ingress history (journal order is arrival-stamp
+  /// order, so the revived state — and all future output — is
+  /// bit-identical to a never-faulted run) and returns it to routing at
+  /// phase kSteady. kInvalidArgument when the query is not quarantined.
+  Status ReviveQuery(const std::string& name);
+  /// Testing/chaos seam: installs a hook invoked on every message pushed
+  /// into the query, before the plan sees it. A non-OK return or a throw
+  /// trips the error barrier and quarantines the query. nullptr clears.
+  Status SetQueryFaultHook(const std::string& name,
+                           CompiledQuery::FaultHook hook);
+  /// Testing/chaos seam: charges `us` microseconds of virtual routing
+  /// cost to the query's current tick, so watchdog behavior is
+  /// deterministic without real sleeps.
+  Status ChargeWatchdogCost(const std::string& name, int64_t us);
+
+  // Tenants.
+
+  std::vector<std::string> TenantNames() const;
+  Result<TenantStatus> TenantOf(const std::string& tenant) const;
+  /// The retry-after hint (ticks) the next global-backpressure rejection
+  /// would carry: proportional to queue depth plus the decaying
+  /// recent-rejection backlog.
+  int64_t SuggestedRetryAfterTicks() const;
+
   /// The query's plan statistics merged with the supervisor's ingress
   /// accounting for its input types (sheds, rejections, synthesized
   /// sync points) - the complete cost/fidelity picture for one query.
@@ -214,12 +353,37 @@ class SupervisedService {
     std::set<std::string> input_types;
     ConsistencySpec requested;
     QueryBudget budget;
+    std::string tenant;
     /// Degradation ladder, strongest first; ladder[0] == requested.
     std::vector<ConsistencySpec> ladder;
     size_t rung = 0;
     int over_streak = 0;
     int calm_streak = 0;
     GovernorPhase phase = GovernorPhase::kSteady;
+    uint64_t degrades = 0;
+    uint64_t restores = 0;
+    Time last_total_blocking = 0;
+    /// Watchdog: consecutive over-deadline ticks.
+    int slow_streak = 0;
+    /// Watchdog: routing cost charged this tick, microseconds (wall time
+    /// plus virtual charges); reset by the watchdog every tick.
+    int64_t tick_cost_us = 0;
+  };
+
+  /// Per-tenant admission and governor state.
+  struct TenantState {
+    TenantQuota quota;
+    std::set<std::string> queries;
+    std::set<std::string> sources;
+    size_t queued = 0;
+    uint64_t admitted_this_tick = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected_queue_share = 0;
+    uint64_t rejected_rate = 0;
+    uint64_t rejected_registration = 0;
+    int over_streak = 0;
+    int calm_streak = 0;
+    bool degraded = false;
     uint64_t degrades = 0;
     uint64_t restores = 0;
     Time last_total_blocking = 0;
@@ -250,10 +414,25 @@ class SupervisedService {
   Status FlushStaged();
   Status RouteBatch(std::span<const TypedMessage> batch);
   /// Sheds one queued message (retractions first, then inserts; seeded
-  /// choice among candidates). False when nothing is sheddable.
-  bool TryShedOne();
+  /// choice among candidates). With `tenant_filter` only that tenant's
+  /// queued calls are candidates (a tenant over its queue share sheds
+  /// its own repairable traffic, never a neighbor's). False when nothing
+  /// is sheddable.
+  bool TryShedOne(const std::string* tenant_filter = nullptr);
   Status DrainSome(int budget);
   Status CheckLiveness();
+  /// Seals a faulting query: snapshots its state into a
+  /// QuarantineReport, closes its sink with the fault, and excludes it
+  /// from routing and governing (phase kQuarantined). Idempotent.
+  void QuarantineQuery(const std::string& name, const Status& fault,
+                       const char* origin);
+  /// Per-tick deadline enforcement (no-op unless watchdog.enabled).
+  Status RunWatchdog();
+  /// Finds-or-creates the tenant's state, quota from config.
+  TenantState& TenantFor(const std::string& tenant);
+  /// Retry-after hint proportional to `depth` plus the rejection
+  /// backlog, in drain-rate units; always >= 1.
+  int64_t RetryAfterHint(size_t depth) const;
   /// Synthesizes sync points at `target` for every type the source
   /// owns, journaled under kSupervisorSource.
   Status SynthesizeFor(SourceSession* session, Time target);
@@ -277,8 +456,10 @@ class SupervisedService {
   /// Pool for parallel routing; created lazily on the first flush when
   /// `routing.route_workers` > 1.
   std::unique_ptr<WorkerPool> route_pool_;
+  /// Scratch: non-quarantined routing targets (and their names) for the
+  /// in-flight fan-out.
   std::vector<SwitchableQuery*> route_targets_;
-  std::vector<Status> route_statuses_;
+  std::vector<std::string> route_names_;
   io::JournalWriter journal_;
   Rng shed_rng_;
   std::map<std::string, std::set<EventId>> published_;
@@ -286,6 +467,16 @@ class SupervisedService {
   std::map<std::string, Time> last_offered_sync_;  // admission-level
   std::map<std::string, TypeShed> type_shed_;
   ShedStats shed_;
+  /// Post-mortems of quarantined queries, keyed by query name; erased on
+  /// ReviveQuery.
+  std::map<std::string, QuarantineReport> quarantine_;
+  std::map<std::string, TenantState> tenants_;
+  std::map<std::string, std::string> source_tenant_;  // source -> tenant
+  /// Overload estimate behind the retry-after hint: bumped per
+  /// rejection, decayed by the drain rate every tick. Makes consecutive
+  /// rejections carry growing hints even while the queue sits pinned at
+  /// capacity.
+  uint64_t reject_backlog_ = 0;
   size_t max_queue_depth_ = 0;
   Time next_cs_ = 1;
   int64_t now_ticks_ = 0;

@@ -41,6 +41,9 @@ Result<std::unique_ptr<SwitchableQuery>> SwitchableQuery::Create(
 Status SwitchableQuery::Push(const std::string& event_type,
                              const Message& msg) {
   if (finished_) return Status::ExecutionError("query already finished");
+  if (fault_hook_ && input_types_.count(event_type) > 0) {
+    CEDR_RETURN_NOT_OK(fault_hook_(event_type, msg));
+  }
   last_cs_ = std::max(last_cs_, msg.cs);
   input_.emplace_back(event_type, msg);
   CEDR_RETURN_NOT_OK(active_->Push(event_type, msg));

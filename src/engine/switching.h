@@ -61,6 +61,21 @@ class SwitchableQuery {
   QueryStats Stats() const { return active_->Stats(); }
   const CompiledQuery& active() const { return *active_; }
 
+  /// Closes the active plan's sink with a terminal error (quarantine).
+  void CloseWithError(const Status& error) {
+    active_->CloseWithError(error);
+  }
+
+  /// Fault-injection seam (chaos testing): consulted once per live
+  /// message routed to this query, before the plan sees it. Replay
+  /// during SwitchTo does NOT re-fire the hook (replayed input already
+  /// passed it once). The hook may return a non-OK Status or throw;
+  /// both are handled by the caller's fault-domain barrier. Null
+  /// disables injection.
+  void set_fault_hook(CompiledQuery::FaultHook hook) {
+    fault_hook_ = std::move(hook);
+  }
+
   /// Messages currently retained for replay: only the suffix since the
   /// last common sync point (the input before it is folded into the
   /// barrier snapshot), so retention is bounded by the provider's sync
@@ -92,6 +107,7 @@ class SwitchableQuery {
   std::set<std::string> input_types_;
   ConsistencySpec spec_ = ConsistencySpec::Middle();
   std::unique_ptr<CompiledQuery> active_;
+  CompiledQuery::FaultHook fault_hook_;
   /// Retained input for replay, in arrival order: only the suffix since
   /// the last barrier snapshot.
   std::vector<std::pair<std::string, Message>> input_;

@@ -1,6 +1,9 @@
 #include "engine/worker_pool.h"
 
 #include <algorithm>
+#include <exception>
+
+#include "common/format.h"
 
 namespace cedr {
 
@@ -57,6 +60,26 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // space.
   job_ = nullptr;
   job_size_ = 0;
+}
+
+std::vector<Status> WorkerPool::ParallelForGuarded(
+    size_t n, const std::function<Status(size_t)>& fn) {
+  std::vector<Status> statuses(n, Status::OK());
+  ParallelFor(n, [&](size_t i) {
+    // The barrier: a task that throws becomes a per-index error. fn runs
+    // on pool threads, so an escaped exception would otherwise call
+    // std::terminate and kill the whole process with its worst task.
+    try {
+      statuses[i] = fn(i);
+    } catch (const std::exception& e) {
+      statuses[i] =
+          Status::ExecutionError(StrCat("task ", i, " threw: ", e.what()));
+    } catch (...) {
+      statuses[i] = Status::ExecutionError(
+          StrCat("task ", i, " threw a non-standard exception"));
+    }
+  });
+  return statuses;
 }
 
 void WorkerPool::WorkerMain() {

@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace cedr {
 
 class WorkerPool {
@@ -40,6 +42,15 @@ class WorkerPool {
   /// goes through captured per-index slots. Only one ParallelFor may be
   /// in flight at a time (it is not reentrant).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Fault-domain variant: runs fn(i) for every i in [0, n) and returns
+  /// one Status per index. fn may return a non-OK Status or throw; an
+  /// exception is captured as kExecutionError on that index instead of
+  /// terminating the process, so one faulting task can never take down
+  /// the pool, its siblings, or the caller. Same scheduling and
+  /// non-reentrancy rules as ParallelFor.
+  std::vector<Status> ParallelForGuarded(
+      size_t n, const std::function<Status(size_t)>& fn);
 
  private:
   void WorkerMain();

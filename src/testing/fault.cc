@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <stdexcept>
 
 #include "common/format.h"
 
@@ -276,7 +277,8 @@ Status OfferTo(SupervisedService* svc, const std::string& source,
 }  // namespace
 
 Result<SupervisedRun> RunSupervised(const SupervisedScenario& scenario,
-                                    SupervisorConfig config) {
+                                    SupervisorConfig config,
+                                    const TickHook& on_tick) {
   SupervisedService svc(config);
   for (const auto& [name, schema] : scenario.catalog) {
     CEDR_RETURN_NOT_OK(svc.RegisterEventType(name, schema));
@@ -361,11 +363,14 @@ Result<SupervisedRun> RunSupervised(const SupervisedScenario& scenario,
       }
       ++next;
     }
+    if (on_tick) CEDR_RETURN_NOT_OK(on_tick(&svc, tick));
     CEDR_RETURN_NOT_OK(svc.Tick());
     ++tick;
   }
   for (int64_t t = 0; t < scenario.trailing_ticks; ++t) {
+    if (on_tick) CEDR_RETURN_NOT_OK(on_tick(&svc, tick));
     CEDR_RETURN_NOT_OK(svc.Tick());
+    ++tick;
   }
   CEDR_RETURN_NOT_OK(svc.Finish());
 
@@ -380,11 +385,140 @@ Result<SupervisedRun> RunSupervised(const SupervisedScenario& scenario,
     CEDR_ASSIGN_OR_RETURN(const SourceSession* session, svc.Session(source));
     run.sessions[source] = session->stats();
   }
+  for (const std::string& name : svc.QuarantinedQueries()) {
+    CEDR_ASSIGN_OR_RETURN(run.quarantines[name], svc.QuarantineOf(name));
+  }
   run.shed = svc.shed();
   run.journal_bytes = svc.journal().bytes();
   run.ticks = svc.now_ticks();
   run.max_queue_depth = svc.max_queue_depth();
   return run;
+}
+
+ChaosSchedule GenerateChaosSchedule(uint64_t seed, size_t num_queries,
+                                    int64_t horizon_ticks) {
+  ChaosSchedule schedule;
+  schedule.seed = seed;
+  Rng rng(seed ^ 0xC4A05u);
+  if (num_queries == 0) return schedule;
+  const size_t num_faults =
+      1 + (num_queries > 1 ? rng.NextBounded(2) : 0);
+  // Distinct targets: one fault per query at most, so incident
+  // attribution stays unambiguous.
+  std::vector<size_t> targets;
+  for (size_t i = 0; i < num_queries; ++i) targets.push_back(i);
+  for (size_t i = 0; i < num_faults; ++i) {
+    size_t pick = i + rng.NextBounded(targets.size() - i);
+    std::swap(targets[i], targets[pick]);
+  }
+  const int64_t arm_window = std::max<int64_t>(1, horizon_ticks / 4);
+  for (size_t i = 0; i < num_faults; ++i) {
+    ChaosFault fault;
+    fault.kind = static_cast<ChaosFault::Kind>(rng.NextBounded(3));
+    fault.query_index = targets[i];
+    fault.at_tick = 1 + static_cast<int64_t>(
+                            rng.NextBounded(static_cast<uint64_t>(arm_window)));
+    fault.duration_ticks = 16;
+    fault.revive_after_ticks =
+        rng.NextBounded(2) == 0
+            ? 0
+            : 1 + static_cast<int64_t>(rng.NextBounded(3));
+    schedule.faults.push_back(fault);
+  }
+  return schedule;
+}
+
+Result<ChaosRun> RunChaos(const SupervisedScenario& scenario,
+                          const ChaosSchedule& schedule,
+                          SupervisorConfig config) {
+  bool any_slow = false;
+  for (const ChaosFault& f : schedule.faults) {
+    if (f.kind == ChaosFault::Kind::kSlow) any_slow = true;
+  }
+  if (any_slow && !config.watchdog.enabled) {
+    config.watchdog.enabled = true;
+    // Wall-clock-proof deadline: only virtual charges can trip it, so
+    // the run is deterministic on arbitrarily slow machines.
+    config.watchdog.tick_deadline_us = 1'000'000'000;
+  }
+
+  ChaosRun chaos;
+  chaos.incidents.resize(schedule.faults.size());
+
+  auto inject = [&](SupervisedService* svc, int64_t tick) -> Status {
+    const std::vector<std::string> names = svc->QueryNames();
+    if (names.empty()) return Status::OK();
+    for (size_t i = 0; i < schedule.faults.size(); ++i) {
+      const ChaosFault& fault = schedule.faults[i];
+      ChaosIncident& incident = chaos.incidents[i];
+      const std::string& target = names[fault.query_index % names.size()];
+      incident.query = target;
+      incident.fault = fault;
+      // Arm.
+      if (tick == fault.at_tick) {
+        switch (fault.kind) {
+          case ChaosFault::Kind::kPoisonStatus:
+            CEDR_RETURN_NOT_OK(svc->SetQueryFaultHook(
+                target, [](const std::string&, const Message&) {
+                  return Status::ExecutionError("chaos: injected poison");
+                }));
+            break;
+          case ChaosFault::Kind::kThrow:
+            CEDR_RETURN_NOT_OK(svc->SetQueryFaultHook(
+                target,
+                [](const std::string&, const Message&) -> Status {
+                  throw std::runtime_error("chaos: injected exception");
+                }));
+            break;
+          case ChaosFault::Kind::kSlow:
+            break;  // driven below, tick by tick
+        }
+      }
+      // Sustain a slow fault: charge over-deadline virtual cost while
+      // the overload window is open and the target is still live.
+      if (fault.kind == ChaosFault::Kind::kSlow &&
+          tick >= fault.at_tick &&
+          tick < fault.at_tick + fault.duration_ticks &&
+          incident.quarantined_at < 0) {
+        CEDR_RETURN_NOT_OK(svc->ChargeWatchdogCost(
+            target, config.watchdog.tick_deadline_us + 1));
+      }
+      // Observe the quarantine and capture the post-mortem before a
+      // revival erases it.
+      if (tick >= fault.at_tick && incident.quarantined_at < 0) {
+        Result<QuarantineReport> report = svc->QuarantineOf(target);
+        if (report.ok()) {
+          incident.report = report.ValueOrDie();
+          incident.quarantined_at = incident.report.at_tick;
+          incident.time_to_quarantine =
+              incident.report.at_tick - fault.at_tick;
+        }
+      }
+      // Quarantine-then-recover.
+      if (fault.revive_after_ticks > 0 && incident.quarantined_at >= 0 &&
+          incident.revived_at < 0 &&
+          tick >= incident.quarantined_at + fault.revive_after_ticks) {
+        CEDR_RETURN_NOT_OK(svc->ReviveQuery(target));
+        incident.revived_at = tick;
+      }
+    }
+    return Status::OK();
+  };
+
+  CEDR_ASSIGN_OR_RETURN(chaos.run,
+                        RunSupervised(scenario, config, inject));
+  // A quarantine in the final tick is only visible in the end-of-run
+  // reports; fold it into the incident.
+  for (ChaosIncident& incident : chaos.incidents) {
+    if (incident.quarantined_at >= 0) continue;
+    auto it = chaos.run.quarantines.find(incident.query);
+    if (it == chaos.run.quarantines.end()) continue;
+    incident.report = it->second;
+    incident.quarantined_at = it->second.at_tick;
+    incident.time_to_quarantine =
+        it->second.at_tick - incident.fault.at_tick;
+  }
+  return chaos;
 }
 
 }  // namespace testing

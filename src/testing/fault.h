@@ -10,6 +10,7 @@
 #ifndef CEDR_TESTING_FAULT_H_
 #define CEDR_TESTING_FAULT_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -143,6 +144,8 @@ struct SupervisedRun {
   std::map<std::string, QueryStats> stats;  ///< StatsFor (incl. sheds)
   std::map<std::string, GovernorStatus> governors;
   std::map<std::string, SessionStats> sessions;
+  /// Post-mortems of queries still quarantined at the end of the run.
+  std::map<std::string, QuarantineReport> quarantines;
   ShedStats shed;
   std::string journal_bytes;
   int64_t ticks = 0;
@@ -151,6 +154,11 @@ struct SupervisedRun {
   uint64_t backpressure_retries = 0;
 };
 
+/// Optional per-tick hook for RunSupervised: called with the service and
+/// the upcoming tick number immediately before every Tick() (including
+/// the trailing ticks). The chaos harness's injection point.
+using TickHook = std::function<Status(SupervisedService*, int64_t)>;
+
 /// Runs the scenario start to finish. Providers assign their own
 /// sequence numbers; a call rejected with kResourceExhausted is retried
 /// on a later tick with the same sequence number (later calls of that
@@ -158,7 +166,79 @@ struct SupervisedRun {
 /// replays the provider's history from the returned resume point, which
 /// the session layer must absorb idempotently.
 Result<SupervisedRun> RunSupervised(const SupervisedScenario& scenario,
-                                    SupervisorConfig config = {});
+                                    SupervisorConfig config = {},
+                                    const TickHook& on_tick = {});
+
+// ---------------------------------------------------------------------
+// Chaos harness: composable fault schedules injected into a supervised
+// run through the supervisor's deterministic fault seams
+// (SetQueryFaultHook, ChargeWatchdogCost, ReviveQuery). Everything is
+// seeded and virtual-time driven, so every failure reproduces exactly.
+
+/// One injected fault in a chaos schedule.
+struct ChaosFault {
+  enum class Kind {
+    /// Fault hook returns kExecutionError on every routed message: the
+    /// "poison event" a bad payload or operator bug would produce.
+    kPoisonStatus,
+    /// Fault hook throws std::runtime_error: an escaped exception on
+    /// the routing path (including pool workers).
+    kThrow,
+    /// Charges virtual watchdog cost over the tick deadline every tick
+    /// for `duration_ticks`: a query that stopped keeping up.
+    kSlow,
+  };
+  Kind kind = Kind::kPoisonStatus;
+  /// Index of the targeted query among the supervisor's QueryNames()
+  /// (sorted order), modulo the query count.
+  size_t query_index = 0;
+  /// Tick at which the fault arms.
+  int64_t at_tick = 1;
+  /// kSlow only: ticks the overload persists.
+  int64_t duration_ticks = 8;
+  /// When > 0, ReviveQuery this many ticks after the quarantine is
+  /// observed (the quarantine-then-recover schedule); 0 = never revive.
+  int64_t revive_after_ticks = 0;
+};
+
+struct ChaosSchedule {
+  uint64_t seed = 0;
+  std::vector<ChaosFault> faults;
+};
+
+/// Seeded schedule generator: 1..min(2, num_queries) faults with
+/// distinct targets, kinds and timing derived from `seed`. Faults arm
+/// inside the first quarter of `horizon_ticks` so live traffic is still
+/// flowing when they bite.
+ChaosSchedule GenerateChaosSchedule(uint64_t seed, size_t num_queries,
+                                    int64_t horizon_ticks);
+
+/// What happened to one scheduled fault (index-aligned with
+/// ChaosSchedule::faults).
+struct ChaosIncident {
+  std::string query;
+  ChaosFault fault;
+  /// Tick the quarantine was observed (report.at_tick); -1 = the fault
+  /// never quarantined its target.
+  int64_t quarantined_at = -1;
+  int64_t time_to_quarantine = -1;
+  /// Tick ReviveQuery ran; -1 = not revived.
+  int64_t revived_at = -1;
+  /// Post-mortem captured at quarantine time (survives revival).
+  QuarantineReport report;
+};
+
+struct ChaosRun {
+  SupervisedRun run;
+  std::vector<ChaosIncident> incidents;
+};
+
+/// Runs the scenario with the schedule's faults injected. The watchdog
+/// is force-enabled (with a wall-clock-proof deadline) when the
+/// schedule contains a kSlow fault.
+Result<ChaosRun> RunChaos(const SupervisedScenario& scenario,
+                          const ChaosSchedule& schedule,
+                          SupervisorConfig config = {});
 
 }  // namespace testing
 }  // namespace cedr
